@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the 3D convolution kernels (the training
+//! stack's hot loop): spatial `1x3x3`, temporal `3x1x1`, and full
+//! `3x3x3` forward and backward passes at lite-model sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3d_nn::{Conv3d, Layer, Mode};
+use p3d_tensor::TensorRng;
+use std::hint::black_box;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv3d_forward");
+    let cases = [
+        ("spatial_1x3x3", (1, 3, 3), (0usize, 1usize, 1usize)),
+        ("temporal_3x1x1", (3, 1, 1), (1, 0, 0)),
+        ("full_3x3x3", (3, 3, 3), (1, 1, 1)),
+    ];
+    for (name, kernel, pad) in cases {
+        let mut rng = TensorRng::seed(1);
+        let mut conv = Conv3d::new("b", 16, 16, kernel, (1, 1, 1), pad, false, &mut rng);
+        let x = rng.uniform_tensor([1, 16, 8, 12, 12], -1.0, 1.0);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(conv.forward(black_box(&x), Mode::Eval)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("conv3d_backward");
+    let mut rng = TensorRng::seed(2);
+    let mut conv = Conv3d::new("b", 16, 16, (1, 3, 3), (1, 1, 1), (0, 1, 1), false, &mut rng);
+    let x = rng.uniform_tensor([1, 16, 8, 12, 12], -1.0, 1.0);
+    let y = conv.forward(&x, Mode::Train);
+    let g = rng.uniform_tensor(y.shape(), -1.0, 1.0);
+    group.bench_function("spatial_1x3x3", |b| {
+        b.iter(|| black_box(conv.backward(black_box(&g))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the analytic models: whole-network latency
+//! evaluation (Eqs. 19–25 over 37 conv layers) and the Table II pruning
+//! report. These run inside DSE loops, so their speed bounds how large a
+//! search space is practical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3d_bench::paper_pruned_model;
+use p3d_core::{KeepRule, PrunedModel, PruningReport};
+use p3d_fpga::{estimate_resources, network_latency, AcceleratorConfig, DoubleBuffering};
+use p3d_models::r2plus1d_18;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let spec = r2plus1d_18(101);
+    let cfg = AcceleratorConfig::paper_tn8();
+    let pruned = paper_pruned_model(&spec, &cfg.tiling, KeepRule::Round);
+    let instances = spec.conv_instances().unwrap();
+
+    c.bench_function("network_latency_dense", |b| {
+        b.iter(|| {
+            black_box(network_latency(
+                black_box(&spec),
+                &cfg,
+                &PrunedModel::dense(),
+                DoubleBuffering::On,
+            ))
+        })
+    });
+    c.bench_function("network_latency_pruned", |b| {
+        b.iter(|| {
+            black_box(network_latency(
+                black_box(&spec),
+                &cfg,
+                &pruned,
+                DoubleBuffering::On,
+            ))
+        })
+    });
+    c.bench_function("resource_estimate", |b| {
+        b.iter(|| black_box(estimate_resources(black_box(&instances), &cfg)))
+    });
+    c.bench_function("pruning_report_table2", |b| {
+        b.iter(|| black_box(PruningReport::build(black_box(&spec), &pruned).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmarks for the ADMM inner primitives: block-norm
+//! computation and the Euclidean projection (Eq. 13) at the real layer
+//! sizes of R(2+1)D's pruned stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3d_core::{project, BlockGrid, BlockShape, KeepRule};
+use p3d_tensor::TensorRng;
+use std::hint::black_box;
+
+fn bench_projection(c: &mut Criterion) {
+    // conv2_x spatial layer: [144, 64, 1, 3, 3] with (Tm, Tn) = (64, 8).
+    let mut rng = TensorRng::seed(3);
+    let w = rng.uniform_tensor([144, 64, 1, 3, 3], -0.1, 0.1);
+    let grid = BlockGrid::for_weight(&w, BlockShape::new(64, 8));
+
+    c.bench_function("block_norms_conv2_spatial", |b| {
+        b.iter(|| black_box(grid.block_norms_sq(black_box(&w))))
+    });
+    c.bench_function("projection_conv2_spatial_eta90", |b| {
+        b.iter(|| black_box(project(black_box(&w), &grid, 0.9, KeepRule::Round)))
+    });
+
+    // conv5_x temporal layer (largest pruneable-style tensor): [512, 1152, 3, 1, 1].
+    let w5 = rng.uniform_tensor([512, 1152, 3, 1, 1], -0.1, 0.1);
+    let grid5 = BlockGrid::for_weight(&w5, BlockShape::new(64, 8));
+    c.bench_function("projection_conv5_temporal_eta80", |b| {
+        b.iter(|| black_box(project(black_box(&w5), &grid5, 0.8, KeepRule::Round)))
+    });
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the functional accelerator simulator: one
+//! tiled convolution, dense vs block-pruned — the simulated-cycle gap is
+//! the paper's speedup mechanism, the wall-clock gap shows the simulator
+//! itself also skips the work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3d_core::{BlockGrid, BlockShape, LayerBlockMask};
+use p3d_fpga::{run_conv, AcceleratorConfig, Ports, Tiling};
+use p3d_models::{Conv3dSpec, ConvInstance};
+use p3d_tensor::{FixedTensor, TensorRng};
+use std::hint::black_box;
+
+fn inst() -> ConvInstance {
+    ConvInstance {
+        spec: Conv3dSpec {
+            name: "bench".into(),
+            stage: "s".into(),
+            out_channels: 32,
+            in_channels: 32,
+            kernel: (1, 3, 3),
+            stride: (1, 1, 1),
+            pad: (0, 1, 1),
+            bias: false,
+        },
+        input: (32, 4, 14, 14),
+        output: (32, 4, 14, 14),
+    }
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let inst = inst();
+    let cfg = AcceleratorConfig {
+        tiling: Tiling::new(8, 8, 4, 14, 14),
+        ports: Ports::new(4, 4, 4),
+        freq_mhz: 150.0,
+        data_bits: 16,
+    };
+    let mut rng = TensorRng::seed(4);
+    let w = FixedTensor::quantize(&rng.uniform_tensor([32, 32, 1, 3, 3], -0.2, 0.2));
+    let x = FixedTensor::quantize(&rng.uniform_tensor([32, 4, 14, 14], 0.0, 1.0));
+
+    c.bench_function("sim_conv_dense", |b| {
+        b.iter(|| black_box(run_conv(&inst, black_box(&w), black_box(&x), None, &cfg)))
+    });
+
+    let grid = BlockGrid::new(32, 32, 9, BlockShape::new(8, 8));
+    let keep: Vec<bool> = (0..grid.num_blocks()).map(|i| i % 4 == 0).collect();
+    let mask = LayerBlockMask::new(grid, keep);
+    c.bench_function("sim_conv_75pct_pruned", |b| {
+        b.iter(|| {
+            black_box(run_conv(
+                &inst,
+                black_box(&w),
+                black_box(&x),
+                Some(&mask),
+                &cfg,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

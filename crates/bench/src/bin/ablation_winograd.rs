@@ -1,0 +1,67 @@
+//! **Ablation: Winograd vs blockwise pruning.** Table IV's strongest
+//! baselines ([18] on VC709/VUS440) are Winograd designs — they cut each
+//! eligible 3x3 convolution's multiplications 2.25x. This binary puts a
+//! hypothetical Winograd engine on our accelerator and compares the two
+//! acceleration levers, separately and combined, on R(2+1)D.
+//!
+//! The structural insight: Winograd only touches the `1x3x3` stride-1
+//! spatial convolutions (R(2+1)D's temporal `Kx1x1` kernels and strided
+//! stage entries are ineligible), while blockwise pruning applies to
+//! every conv — and the two compose.
+
+use p3d_bench::{paper_pruned_model, TableWriter};
+use p3d_core::{KeepRule, PrunedModel};
+use p3d_fpga::{
+    network_latency, winograd_eligible, winograd_network_latency, AcceleratorConfig,
+    DoubleBuffering,
+};
+use p3d_models::r2plus1d_18;
+
+fn main() {
+    let spec = r2plus1d_18(101);
+    let cfg = AcceleratorConfig::paper_tn8();
+    let pruned = paper_pruned_model(&spec, &cfg.tiling, KeepRule::Round);
+
+    let eligible: Vec<_> = spec
+        .conv_instances()
+        .unwrap()
+        .into_iter()
+        .filter(winograd_eligible)
+        .collect();
+    let eligible_ops: usize = eligible.iter().map(|i| i.ops()).sum();
+    let total_ops = spec.conv_ops().unwrap();
+    println!(
+        "Winograd-eligible layers: {} of 37 convs, {:.0}% of ops ({}x3x3 stride-1 spatial)\n",
+        eligible.len(),
+        100.0 * eligible_ops as f64 / total_ops as f64,
+        1
+    );
+
+    let dense_direct = network_latency(&spec, &cfg, &PrunedModel::dense(), DoubleBuffering::On);
+    let dense_wino = winograd_network_latency(&spec, &cfg, &PrunedModel::dense());
+    let pruned_direct = network_latency(&spec, &cfg, &pruned, DoubleBuffering::On);
+    let pruned_wino = winograd_network_latency(&spec, &cfg, &pruned);
+
+    let base = dense_direct.ms(&cfg);
+    let mut t = TableWriter::new(&["Configuration", "Latency (ms)", "Speedup vs direct dense"]);
+    for (name, lat) in [
+        ("direct, dense", &dense_direct),
+        ("Winograd, dense", &dense_wino),
+        ("direct, pruned (ours)", &pruned_direct),
+        ("Winograd + pruned", &pruned_wino),
+    ] {
+        let ms = lat.ms(&cfg);
+        t.row(&[
+            name.into(),
+            format!("{ms:.0}"),
+            format!("{:.2}x", base / ms),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Reading: Winograd alone buys less on R(2+1)D than on C3D-style");
+    println!("networks because the temporal and strided convolutions are");
+    println!("ineligible — the irregular-kernel point of the paper's related-work");
+    println!("discussion. Pruning is the bigger single lever here, and the two");
+    println!("compose: the paper's approach 'can complement more advanced FPGA");
+    println!("design' (Section V) — this quantifies that sentence.");
+}

@@ -1,0 +1,80 @@
+//! **Generality check** — Section III-A: "the proposed blockwise weight
+//! pruning scheme can be applied to different types of 3D CNNs including
+//! C3D and R(2+1)D." This binary runs the identical ADMM pipeline on the
+//! C3D-lite model (standard 3x3x3 kernels, no residuals) and reports the
+//! accuracy cost, mirroring the R(2+1)D `accuracy` binary.
+//!
+//! Set `P3D_QUICK=1` for a fast smoke run.
+
+use p3d_core::{targets_for_stages, AdmmConfig, AdmmPruner, BlockShape, KeepRule};
+use p3d_models::{build_network, c3d_lite};
+use p3d_nn::{CrossEntropyLoss, LrSchedule, Sgd, Trainer};
+use p3d_video_data::{GeneratorConfig, SyntheticVideo};
+
+fn main() {
+    let quick = std::env::var("P3D_QUICK").is_ok();
+    let (clips, base_epochs, retrain_epochs) = if quick { (60, 4, 3) } else { (240, 25, 20) };
+    let spec = c3d_lite(10);
+    let mut cfg = GeneratorConfig::standard();
+    cfg.height = 24;
+    cfg.width = 24;
+    let (train, test) = SyntheticVideo::train_test(&cfg, clips, clips / 2, 42);
+
+    let mut net = build_network(&spec, 1);
+    let mut trainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(1e-2, 0.9, 1e-4), 16, 7);
+    for _ in 0..base_epochs {
+        trainer.train_epoch(&mut net, &train, None);
+    }
+    let acc_unpruned = trainer.evaluate(&mut net, &test);
+    println!("C3D-lite unpruned accuracy: {acc_unpruned:.4}");
+
+    // Prune the two middle stages at 60%/50% block sparsity (C3D-lite's
+    // 3x3x3 kernels hold 3x the weights per block of an R(2+1)D spatial
+    // kernel, so equal block ratios cut deeper).
+    let targets = targets_for_stages(&spec, &[("conv2", 0.6), ("conv3", 0.5)]);
+    let admm = AdmmConfig {
+        rho_schedule: if quick {
+            vec![2e-1]
+        } else {
+            vec![2e-2, 1e-1, 4e-1]
+        },
+        epochs_per_round: if quick { 2 } else { 8 },
+        epochs_per_admm_update: if quick { 1 } else { 3 },
+        keep_rule: KeepRule::Round,
+        epsilon: 0.05,
+    };
+    let mut admm_trainer = Trainer::new(
+        CrossEntropyLoss::with_smoothing(0.1),
+        Sgd::new(5e-3, 0.9, 1e-4),
+        16,
+        11,
+    );
+    let mut pruner = AdmmPruner::new(&mut net, BlockShape::new(8, 4), &targets, admm);
+    let log = pruner.admm_train(&mut net, &mut admm_trainer, &train);
+    println!(
+        "ADMM final primal residual: {:.3}",
+        log.rounds.last().map(|r| r.max_primal_residual).unwrap_or(f32::NAN)
+    );
+    let pruned = pruner.hard_prune(&mut net);
+    let acc_hard = p3d_nn::evaluate(&mut net, &test, 16);
+
+    let schedule = LrSchedule::WarmupCosine {
+        base_lr: 5e-3,
+        warmup_epochs: 2,
+        total_epochs: retrain_epochs,
+        min_lr: 1e-5,
+    };
+    let mut retrainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(5e-3, 0.9, 1e-4), 16, 13);
+    AdmmPruner::retrain(&mut net, &mut retrainer, &train, &schedule, retrain_epochs);
+    let acc_final = p3d_nn::evaluate(&mut net, &test, 16);
+    assert!(pruner.verify_sparsity(&mut net));
+
+    println!("\n==== C3D-lite blockwise ADMM pruning ====");
+    println!("unpruned:           {acc_unpruned:.4}");
+    println!("after hard prune:   {acc_hard:.4}");
+    println!("after retraining:   {acc_final:.4}  (delta {:+.4})", acc_final - acc_unpruned);
+    println!("kept weight fraction in pruned stages: {:.3}", pruned.kept_fraction());
+    println!("\nClaim under test: the blockwise scheme is architecture-agnostic —");
+    println!("it needs only conv weight tensors and a (Tm, Tn) grid, and C3D's");
+    println!("full 3D kernels prune just like R(2+1)D's factorised ones.");
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table I** — the R(2+1)D model architecture: per-stage
+//! output sizes and kernel/filter shapes — from the network spec's shape
+//! inference.
+
+use p3d_bench::TableWriter;
+use p3d_models::{architecture_rows, r2plus1d_18, summarize};
+
+fn main() {
+    let spec = r2plus1d_18(101);
+    let rows = architecture_rows(&spec).expect("spec shape-checks");
+
+    println!("Table I: R(2+1)D model architecture (input 3x16x112x112)\n");
+    let mut t = TableWriter::new(&["Layer", "Stage", "Kernel/Filter", "Output (DxHxW)"]);
+    for r in &rows {
+        t.row(&[
+            r.name.clone(),
+            r.stage.clone(),
+            r.kernel.clone(),
+            r.output.clone(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("Stage summary (paper Table I rows):\n");
+    let summary = summarize(&spec).expect("spec shape-checks");
+    let mut s = TableWriter::new(&["Stage", "Conv layers", "Output size", "Params (M)"]);
+    let stage_output = |stage: &str| {
+        rows.iter()
+            .rev()
+            .find(|r| r.stage == stage)
+            .map(|r| r.output.clone())
+            .unwrap_or_default()
+    };
+    for st in &summary.stages {
+        s.row(&[
+            st.stage.clone(),
+            st.layers.to_string(),
+            stage_output(&st.stage),
+            format!("{:.3}", st.params as f64 / 1e6),
+        ]);
+    }
+    println!("{}", s.render());
+    println!(
+        "Total: {} conv layers, {:.2} M conv parameters, {:.2} G ops/clip",
+        summary.stages.iter().map(|s| s.layers).sum::<usize>(),
+        summary.total_params as f64 / 1e6,
+        summary.total_ops as f64 / 1e9,
+    );
+    println!("Paper: 16x56x56 / 16x56x56 / 8x28x28 / 4x14x14 / 2x7x7 outputs; 33.22 M params.");
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! The benchmark harness: everything shared by the table/figure
+//! regeneration binaries (`table1`–`table4`, `accuracy`, `dse`, and the
+//! ablation studies) plus the published reference numbers they compare
+//! against.
+//!
+//! Run the binaries with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p p3d-bench --bin table2
+//! ```
+
+pub mod masks;
+pub mod published;
+pub mod table;
+
+pub use masks::{paper_pruned_model, uniform_mask};
+pub use published::{PublishedRow, TABLE4_ROWS};
+pub use table::TableWriter;

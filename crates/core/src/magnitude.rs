@@ -1,0 +1,247 @@
+//! Baseline pruning schemes for the ablation studies: one-shot blockwise
+//! magnitude pruning (no ADMM), unstructured elementwise pruning, and
+//! channel pruning. All three produce the same artifacts as the ADMM
+//! pruner (elementwise masks + block-enable maps) so the FPGA model can
+//! compare them at equal sparsity.
+
+use crate::blocks::{BlockGrid, BlockShape};
+use crate::mask_export::{LayerBlockMask, PrunedModel};
+use crate::projection::{select_blocks, KeepRule};
+use crate::pruner::PruneTarget;
+use p3d_nn::Layer;
+use p3d_tensor::Tensor;
+
+/// Derives a block-enable map from an arbitrary elementwise 0/1 mask:
+/// a block is enabled iff it contains at least one surviving weight.
+///
+/// This is how *unstructured* sparsity translates to the tiled
+/// accelerator: a block can only be skipped when every weight in it is
+/// zero — the crux of the paper's argument for tiling-aligned pruning.
+pub fn block_enable_from_mask(mask: &Tensor, grid: &BlockGrid) -> LayerBlockMask {
+    let data = mask.data();
+    let mut keep = vec![false; grid.num_blocks()];
+    for bi in 0..grid.rows() {
+        for bj in 0..grid.cols() {
+            let mut any = false;
+            grid.for_each_offset(bi, bj, |off| {
+                if data[off] != 0.0 {
+                    any = true;
+                }
+            });
+            keep[grid.block_index(bi, bj)] = any;
+        }
+    }
+    LayerBlockMask::new(*grid, keep)
+}
+
+fn for_target_weights(
+    network: &mut dyn Layer,
+    targets: &[PruneTarget],
+    mut f: impl FnMut(&PruneTarget, &mut p3d_nn::Param),
+) {
+    network.visit_params(&mut |p| {
+        if let Some(layer) = p.name.strip_suffix(".weight") {
+            if let Some(t) = targets.iter().find(|t| t.layer == layer) {
+                f(t, p);
+            }
+        }
+    });
+}
+
+/// One-shot blockwise magnitude pruning: project every target weight
+/// directly (no ADMM training), install masks, return block maps.
+///
+/// This is the paper's implicit baseline — the accuracy gap between this
+/// and the ADMM pipeline at equal sparsity is what the ADMM machinery
+/// buys.
+pub fn magnitude_block_prune(
+    network: &mut dyn Layer,
+    block_shape: BlockShape,
+    targets: &[PruneTarget],
+    rule: KeepRule,
+) -> PrunedModel {
+    let mut pruned = PrunedModel {
+        block_shape: Some(block_shape),
+        layers: Default::default(),
+    };
+    for_target_weights(network, targets, |t, p| {
+        let grid = BlockGrid::for_weight(&p.value, block_shape);
+        let norms = grid.block_norms_sq(&p.value);
+        let kept = rule.kept(grid.num_blocks(), t.eta);
+        let sel = select_blocks(&norms, kept);
+        let mask = grid.mask_from_blocks(&sel.keep).reshape(p.value.shape());
+        p.set_mask(mask);
+        pruned.insert(t.layer.clone(), LayerBlockMask::new(grid, sel.keep));
+    });
+    pruned
+}
+
+/// Unstructured elementwise magnitude pruning at the same weight
+/// sparsity: zero the `eta` fraction of smallest-magnitude weights,
+/// regardless of block structure.
+///
+/// Returns the *resulting* block-enable maps — which are almost fully
+/// dense, demonstrating why unstructured sparsity yields no tile-skipping
+/// speedup.
+pub fn unstructured_prune(
+    network: &mut dyn Layer,
+    block_shape: BlockShape,
+    targets: &[PruneTarget],
+) -> PrunedModel {
+    let mut pruned = PrunedModel {
+        block_shape: Some(block_shape),
+        layers: Default::default(),
+    };
+    for_target_weights(network, targets, |t, p| {
+        let n = p.value.len();
+        let prune_count = ((t.eta * n as f64) as usize).min(n.saturating_sub(1));
+        let mut order: Vec<usize> = (0..n).collect();
+        let vals = p.value.data().to_vec();
+        order.sort_by(|&a, &b| {
+            vals[a]
+                .abs()
+                .partial_cmp(&vals[b].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut mask = Tensor::ones(p.value.shape());
+        for &idx in order.iter().take(prune_count) {
+            mask.data_mut()[idx] = 0.0;
+        }
+        let grid = BlockGrid::for_weight(&p.value, block_shape);
+        let block_map = block_enable_from_mask(&mask, &grid);
+        p.set_mask(mask);
+        pruned.insert(t.layer.clone(), block_map);
+    });
+    pruned
+}
+
+/// Channel (filter) pruning at approximately the same weight sparsity:
+/// zero the `eta` fraction of output channels with the smallest L2 norm.
+///
+/// Returns block-enable maps: an entire block row disables only when all
+/// of its `Tm` channels are pruned, so channel pruning converts to tile
+/// skipping only at coarse granularity.
+pub fn channel_prune(
+    network: &mut dyn Layer,
+    block_shape: BlockShape,
+    targets: &[PruneTarget],
+) -> PrunedModel {
+    let mut pruned = PrunedModel {
+        block_shape: Some(block_shape),
+        layers: Default::default(),
+    };
+    for_target_weights(network, targets, |t, p| {
+        let s = p.value.shape();
+        assert_eq!(s.rank(), 5, "channel pruning expects conv weights");
+        let (m, rest) = (s.dim(0), s.len() / s.dim(0));
+        let mut norms: Vec<(usize, f64)> = (0..m)
+            .map(|ch| {
+                let base = ch * rest;
+                let sq: f64 = p.value.data()[base..base + rest]
+                    .iter()
+                    .map(|&x| (x as f64) * (x as f64))
+                    .sum();
+                (ch, sq)
+            })
+            .collect();
+        norms.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let prune_count = ((t.eta * m as f64).round() as usize).min(m.saturating_sub(1));
+        let mut mask = Tensor::ones(s);
+        for &(ch, _) in norms.iter().take(prune_count) {
+            let base = ch * rest;
+            mask.data_mut()[base..base + rest].fill(0.0);
+        }
+        let grid = BlockGrid::for_weight(&p.value, block_shape);
+        let block_map = block_enable_from_mask(&mask, &grid);
+        p.set_mask(mask);
+        pruned.insert(t.layer.clone(), block_map);
+    });
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3d_models::{build_network, r2plus1d_micro};
+
+    fn setup() -> (p3d_nn::Sequential, Vec<PruneTarget>) {
+        let spec = r2plus1d_micro(3);
+        let net = build_network(&spec, 21);
+        let targets = vec![PruneTarget {
+            layer: "conv2_1a.spatial".into(),
+            eta: 0.5,
+        }];
+        (net, targets)
+    }
+
+    #[test]
+    fn block_enable_from_dense_mask_is_dense() {
+        let grid = BlockGrid::new(4, 4, 2, BlockShape::new(2, 2));
+        let mask = Tensor::ones([4, 4, 2, 1, 1]);
+        let be = block_enable_from_mask(&mask, &grid);
+        assert_eq!(be.enabled_fraction(), 1.0);
+    }
+
+    #[test]
+    fn block_enable_detects_zero_blocks() {
+        let grid = BlockGrid::new(4, 4, 2, BlockShape::new(2, 2));
+        let mut mask = Tensor::ones([4, 4, 2, 1, 1]);
+        grid.zero_block(&mut mask, 0, 0);
+        let be = block_enable_from_mask(&mask, &grid);
+        assert!(!be.is_enabled(0, 0));
+        assert_eq!(be.enabled_blocks(), 3);
+    }
+
+    #[test]
+    fn magnitude_block_prune_achieves_block_sparsity() {
+        let (mut net, targets) = setup();
+        let pm = magnitude_block_prune(&mut net, BlockShape::new(4, 4), &targets, KeepRule::Round);
+        let mask = pm.mask("conv2_1a.spatial").unwrap();
+        assert!(mask.enabled_fraction() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn unstructured_same_weight_sparsity_but_dense_blocks() {
+        let (mut net, targets) = setup();
+        let pm = unstructured_prune(&mut net, BlockShape::new(4, 4), &targets);
+        // At 50% random-ish elementwise sparsity essentially every block
+        // retains at least one weight -> no blocks can be skipped.
+        let mask = pm.mask("conv2_1a.spatial").unwrap();
+        assert!(
+            mask.enabled_fraction() > 0.9,
+            "unstructured sparsity unexpectedly produced skippable blocks"
+        );
+        // But the weights themselves are 50% zero.
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        net.visit_params(&mut |p| {
+            if p.name == "conv2_1a.spatial.weight" {
+                zeros = p.value.count_zeros();
+                total = p.value.len();
+            }
+        });
+        assert!((zeros as f64 / total as f64 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn channel_prune_zeroes_whole_channels() {
+        let (mut net, targets) = setup();
+        let _ = channel_prune(&mut net, BlockShape::new(2, 4), &targets);
+        let mut ok = false;
+        net.visit_params(&mut |p| {
+            if p.name == "conv2_1a.spatial.weight" {
+                let s = p.value.shape();
+                let (m, rest) = (s.dim(0), s.len() / s.dim(0));
+                let zero_channels = (0..m)
+                    .filter(|&ch| {
+                        p.value.data()[ch * rest..(ch + 1) * rest]
+                            .iter()
+                            .all(|&x| x == 0.0)
+                    })
+                    .count();
+                ok = zero_channels == m / 2;
+            }
+        });
+        assert!(ok, "expected exactly half the channels zeroed");
+    }
+}

@@ -1,0 +1,273 @@
+//! Pruning reports: the "after pruning" columns and rate columns of the
+//! paper's Table II, computed from a [`NetworkSpec`] and a
+//! [`PrunedModel`].
+
+use crate::mask_export::PrunedModel;
+use p3d_models::{NetworkSpec, SpecError};
+
+/// One stage row of Table II.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageRow {
+    /// Stage label (`"conv2_x"`, ...).
+    pub stage: String,
+    /// Conv parameters before pruning.
+    pub params_before: usize,
+    /// Conv parameters after pruning.
+    pub params_after: usize,
+    /// Conv ops (2 x MACs) before pruning.
+    pub ops_before: usize,
+    /// Conv ops after pruning (skipped blocks execute no MACs).
+    pub ops_after: usize,
+    /// `true` if any layer of the stage is pruned.
+    pub pruned: bool,
+}
+
+impl StageRow {
+    /// Parameter pruning rate `before / after` (1.0 for unpruned stages).
+    pub fn param_rate(&self) -> f64 {
+        self.params_before as f64 / self.params_after.max(1) as f64
+    }
+
+    /// Operation pruning rate `before / after`.
+    pub fn ops_rate(&self) -> f64 {
+        self.ops_before as f64 / self.ops_after.max(1) as f64
+    }
+}
+
+/// The full pruning report (Table II).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PruningReport {
+    /// Network name.
+    pub network: String,
+    /// Per-stage rows in network order.
+    pub stages: Vec<StageRow>,
+}
+
+impl PruningReport {
+    /// Builds the report.
+    ///
+    /// Layers present in `pruned` use their block-enable maps: surviving
+    /// parameters are counted blockwise (edge blocks at true size) and
+    /// surviving ops proportionally to surviving `(m, n)` kernel pairs.
+    pub fn build(spec: &NetworkSpec, pruned: &PrunedModel) -> Result<Self, SpecError> {
+        let insts = spec.conv_instances()?;
+        let order = spec.stages()?;
+        let mut stages: Vec<StageRow> = order
+            .iter()
+            .map(|s| StageRow {
+                stage: s.clone(),
+                params_before: 0,
+                params_after: 0,
+                ops_before: 0,
+                ops_after: 0,
+                pruned: false,
+            })
+            .collect();
+        for inst in &insts {
+            let row = stages
+                .iter_mut()
+                .find(|r| r.stage == inst.spec.stage)
+                .expect("stage present");
+            let params = inst.spec.params();
+            let ops = inst.ops();
+            row.params_before += params;
+            row.ops_before += ops;
+            match pruned.mask(&inst.spec.name) {
+                Some(mask) => {
+                    row.pruned = true;
+                    row.params_after += mask.kept_params();
+                    // Ops scale with surviving kernel pairs: every kernel
+                    // contributes kernel_volume MACs per output position.
+                    let kept_kernels = mask.kept_kernels();
+                    let total_kernels = inst.spec.out_channels * inst.spec.in_channels;
+                    row.ops_after +=
+                        (ops as u128 * kept_kernels as u128 / total_kernels as u128) as usize;
+                }
+                None => {
+                    row.params_after += params;
+                    row.ops_after += ops;
+                }
+            }
+        }
+        Ok(PruningReport {
+            network: spec.name.clone(),
+            stages,
+        })
+    }
+
+    /// Whole-model totals `(params_before, params_after, ops_before,
+    /// ops_after)`.
+    pub fn totals(&self) -> (usize, usize, usize, usize) {
+        self.stages.iter().fold((0, 0, 0, 0), |acc, r| {
+            (
+                acc.0 + r.params_before,
+                acc.1 + r.params_after,
+                acc.2 + r.ops_before,
+                acc.3 + r.ops_after,
+            )
+        })
+    }
+
+    /// Whole-model operation pruning rate (the paper reports 3.18x).
+    pub fn total_ops_rate(&self) -> f64 {
+        let (_, _, before, after) = self.totals();
+        before as f64 / after.max(1) as f64
+    }
+
+    /// Whole-model parameter pruning rate (the paper reports 1.05x).
+    pub fn total_param_rate(&self) -> f64 {
+        let (before, after, _, _) = self.totals();
+        before as f64 / after.max(1) as f64
+    }
+
+    /// Renders the report in the layout of Table II.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>22} {:>9} {:>22} {:>9}\n",
+            "Stage", "Params (M) bef/aft", "Rate", "Ops (G) bef/aft", "Rate"
+        ));
+        for r in &self.stages {
+            let (params, prate, ops, orate) = if r.pruned {
+                (
+                    format!(
+                        "{:.3}/{:.3}",
+                        r.params_before as f64 / 1e6,
+                        r.params_after as f64 / 1e6
+                    ),
+                    format!("{:.2}x", r.param_rate()),
+                    format!(
+                        "{:.2}/{:.2}",
+                        r.ops_before as f64 / 1e9,
+                        r.ops_after as f64 / 1e9
+                    ),
+                    format!("{:.2}x", r.ops_rate()),
+                )
+            } else {
+                (
+                    format!("{:.3}", r.params_before as f64 / 1e6),
+                    "N/A".into(),
+                    format!("{:.2}", r.ops_before as f64 / 1e9),
+                    "N/A".into(),
+                )
+            };
+            out.push_str(&format!(
+                "{:<10} {:>22} {:>9} {:>22} {:>9}\n",
+                r.stage, params, prate, ops, orate
+            ));
+        }
+        let (pb, pa, ob, oa) = self.totals();
+        out.push_str(&format!(
+            "{:<10} {:>22} {:>9} {:>22} {:>9}\n",
+            "Total",
+            format!("{:.2}/{:.2}", pb as f64 / 1e6, pa as f64 / 1e6),
+            format!("{:.2}x", self.total_param_rate()),
+            format!("{:.2}/{:.2}", ob as f64 / 1e9, oa as f64 / 1e9),
+            format!("{:.2}x", self.total_ops_rate()),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{BlockGrid, BlockShape};
+    use crate::mask_export::LayerBlockMask;
+    use crate::projection::KeepRule;
+    use p3d_models::r2plus1d::r2plus1d_18;
+
+    /// Builds the paper's pruned model analytically: every conv2_x layer
+    /// at eta=0.9 and every conv3_x layer at eta=0.8, keeping the
+    /// highest-index blocks (which blocks survive does not matter for
+    /// the counts when blocks are equal-sized; edge blocks make small
+    /// differences that the rate tolerances absorb).
+    fn paper_pruned(shape: BlockShape, rule: KeepRule) -> (PruningReport, PrunedModel) {
+        let spec = r2plus1d_18(101);
+        let mut pm = PrunedModel {
+            block_shape: Some(shape),
+            layers: Default::default(),
+        };
+        for inst in spec.conv_instances().unwrap() {
+            let eta = match inst.spec.stage.as_str() {
+                "conv2_x" => 0.9,
+                "conv3_x" => 0.8,
+                _ => continue,
+            };
+            let grid = BlockGrid::new(
+                inst.spec.out_channels,
+                inst.spec.in_channels,
+                inst.spec.kernel.0 * inst.spec.kernel.1 * inst.spec.kernel.2,
+                shape,
+            );
+            let kept = rule.kept(grid.num_blocks(), eta);
+            let mut keep = vec![false; grid.num_blocks()];
+            for k in keep.iter_mut().take(kept) {
+                *k = true;
+            }
+            pm.insert(inst.spec.name.clone(), LayerBlockMask::new(grid, keep));
+        }
+        (PruningReport::build(&spec, &pm).unwrap(), pm)
+    }
+
+    #[test]
+    fn table2_rates_reproduce() {
+        // Paper Table II with (Tm, Tn) = (64, 8): conv2_x 9.85x params,
+        // conv3_x 4.85x, total ops 3.18x. Block-count rounding makes the
+        // exact rates rule-dependent; Round lands within ~25%.
+        let (report, _) = paper_pruned(BlockShape::new(64, 8), KeepRule::Round);
+        let conv2 = report.stages.iter().find(|r| r.stage == "conv2_x").unwrap();
+        let conv3 = report.stages.iter().find(|r| r.stage == "conv3_x").unwrap();
+        assert!(
+            (7.0..13.0).contains(&conv2.param_rate()),
+            "conv2_x rate {} not ~10x",
+            conv2.param_rate()
+        );
+        assert!(
+            (4.0..6.5).contains(&conv3.param_rate()),
+            "conv3_x rate {} not ~5x",
+            conv3.param_rate()
+        );
+        let total = report.total_ops_rate();
+        assert!(
+            (2.8..3.7).contains(&total),
+            "total ops rate {total} not ~3.18x"
+        );
+        // Whole-model parameter rate is tiny (conv4/conv5 dominate): 1.05x.
+        let prate = report.total_param_rate();
+        assert!((1.02..1.10).contains(&prate), "param rate {prate}");
+    }
+
+    #[test]
+    fn unpruned_stages_marked_na() {
+        let (report, _) = paper_pruned(BlockShape::new(64, 8), KeepRule::Round);
+        let conv1 = report.stages.iter().find(|r| r.stage == "conv1").unwrap();
+        assert!(!conv1.pruned);
+        assert_eq!(conv1.params_before, conv1.params_after);
+        let conv5 = report.stages.iter().find(|r| r.stage == "conv5_x").unwrap();
+        assert!(!conv5.pruned);
+    }
+
+    #[test]
+    fn dense_model_rates_are_one() {
+        let spec = r2plus1d_18(101);
+        let report = PruningReport::build(&spec, &PrunedModel::dense()).unwrap();
+        assert!((report.total_ops_rate() - 1.0).abs() < 1e-12);
+        assert!((report.total_param_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_with_na() {
+        let (report, _) = paper_pruned(BlockShape::new(64, 8), KeepRule::Round);
+        let t = report.to_table();
+        assert!(t.contains("N/A"));
+        assert!(t.contains("conv2_x"));
+        assert!(t.contains("Total"));
+    }
+
+    #[test]
+    fn tn16_configuration_also_works() {
+        let (report, _) = paper_pruned(BlockShape::new(64, 16), KeepRule::Round);
+        assert!(report.total_ops_rate() > 2.5);
+    }
+}

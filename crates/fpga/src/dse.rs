@@ -1,0 +1,237 @@
+//! Design-space exploration over the tiling parameters (Section IV-B:
+//! "the tiling size parameters need to be chosen delicately for
+//! efficient resource utilization").
+
+use crate::config::{AcceleratorConfig, Board, Ports, Tiling};
+use crate::latency::{network_latency, DoubleBuffering};
+use crate::resources::{estimate_resources, fits, ResourceEstimate};
+use p3d_core::PrunedModel;
+use p3d_models::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+/// The search space.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Candidate `Tm` values.
+    pub tm: Vec<usize>,
+    /// Candidate `Tn` values.
+    pub tn: Vec<usize>,
+    /// Candidate `Td` values.
+    pub td: Vec<usize>,
+    /// Candidate `Tr` values.
+    pub tr: Vec<usize>,
+    /// Candidate `Tc` values.
+    pub tc: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// The space explored in the reproduction, a superset of the paper's
+    /// two published points.
+    pub fn standard() -> Self {
+        SearchSpace {
+            tm: vec![16, 32, 64, 128],
+            tn: vec![4, 8, 16, 32],
+            td: vec![2, 4, 8],
+            tr: vec![7, 14, 28],
+            tc: vec![7, 14, 28],
+        }
+    }
+
+    /// Total number of candidate tilings.
+    pub fn len(&self) -> usize {
+        self.tm.len() * self.tn.len() * self.td.len() * self.tr.len() * self.tc.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn candidates(&self) -> Vec<Tiling> {
+        let mut out = Vec::with_capacity(self.len());
+        for &tm in &self.tm {
+            for &tn in &self.tn {
+                for &td in &self.td {
+                    for &tr in &self.tr {
+                        for &tc in &self.tc {
+                            out.push(Tiling::new(tm, tn, td, tr, tc));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One evaluated design point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The tiling.
+    pub tiling: Tiling,
+    /// Resource estimate.
+    pub resources: ResourceEstimate,
+    /// End-to-end cycles for the evaluated network.
+    pub cycles: u64,
+    /// Latency in milliseconds at the evaluated clock.
+    pub ms: f64,
+}
+
+/// Exhaustively evaluates every feasible tiling for `spec` (with block
+/// masks from `pruned`), returning design points sorted by latency.
+/// Evaluation is parallelised across candidates with crossbeam scoped
+/// threads.
+pub fn explore(
+    spec: &NetworkSpec,
+    pruned: &PrunedModel,
+    space: &SearchSpace,
+    board: &Board,
+    freq_mhz: f64,
+) -> Vec<DesignPoint> {
+    let instances = spec.conv_instances().expect("spec must shape-check");
+    let candidates = space.candidates();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(candidates.len().max(1));
+    let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
+
+    let mut results: Vec<DesignPoint> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk| {
+                let instances = &instances;
+                s.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for &tiling in chunk {
+                        // Pruned block masks only apply when the tiling's
+                        // (Tm, Tn) equals the pruning block shape — the
+                        // co-design constraint of the paper.
+                        let mask_applicable = pruned
+                            .block_shape
+                            .map(|b| b.tm == tiling.tm && b.tn == tiling.tn)
+                            .unwrap_or(false);
+                        let effective = if mask_applicable {
+                            pruned.clone()
+                        } else {
+                            PrunedModel::dense()
+                        };
+                        let config = AcceleratorConfig {
+                            ports: Ports::for_tiling(&tiling),
+                            tiling,
+                            freq_mhz,
+                            data_bits: 16,
+                        };
+                        let est = estimate_resources(instances, &config);
+                        if !fits(&est, board) {
+                            continue;
+                        }
+                        let lat =
+                            network_latency(spec, &config, &effective, DoubleBuffering::On);
+                        local.push(DesignPoint {
+                            tiling,
+                            ms: config.cycles_to_ms(lat.total_cycles),
+                            cycles: lat.total_cycles,
+                            resources: est,
+                        });
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("DSE worker panicked"));
+        }
+    })
+    .expect("DSE scope failed");
+
+    results.sort_by_key(|a| a.cycles);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3d_models::r2plus1d::r2plus1d_18;
+
+    fn tiny_space() -> SearchSpace {
+        SearchSpace {
+            tm: vec![32, 64],
+            tn: vec![8, 16],
+            td: vec![4],
+            tr: vec![14],
+            tc: vec![14],
+        }
+    }
+
+    #[test]
+    fn space_enumeration() {
+        let s = SearchSpace::standard();
+        assert_eq!(s.len(), 4 * 4 * 3 * 3 * 3);
+        assert!(!s.is_empty());
+        assert_eq!(tiny_space().candidates().len(), 4);
+    }
+
+    #[test]
+    fn explore_returns_sorted_feasible_points() {
+        let spec = r2plus1d_18(101);
+        let points = explore(
+            &spec,
+            &PrunedModel::dense(),
+            &tiny_space(),
+            &Board::zcu102(),
+            150.0,
+        );
+        assert!(!points.is_empty(), "no feasible designs found");
+        for w in points.windows(2) {
+            assert!(w[0].cycles <= w[1].cycles, "not sorted by latency");
+        }
+        for p in &points {
+            assert!(p.resources.dsps <= Board::zcu102().dsps);
+        }
+    }
+
+    #[test]
+    fn more_parallelism_is_faster_when_feasible() {
+        let spec = r2plus1d_18(101);
+        let points = explore(
+            &spec,
+            &PrunedModel::dense(),
+            &tiny_space(),
+            &Board::zcu102(),
+            150.0,
+        );
+        let find = |tm: usize, tn: usize| {
+            points
+                .iter()
+                .find(|p| p.tiling.tm == tm && p.tiling.tn == tn)
+                .map(|p| p.cycles)
+        };
+        if let (Some(c8), Some(c16)) = (find(64, 8), find(64, 16)) {
+            assert!(c16 < c8, "Tn=16 should beat Tn=8");
+        } else {
+            panic!("expected both paper points to be feasible");
+        }
+    }
+
+    #[test]
+    fn infeasible_board_yields_nothing() {
+        let spec = r2plus1d_18(101);
+        let tiny_board = Board {
+            name: "tiny".into(),
+            dsps: 10,
+            bram36: 4,
+            luts: 1000,
+            ffs: 1000,
+        };
+        let points = explore(
+            &spec,
+            &PrunedModel::dense(),
+            &tiny_space(),
+            &tiny_board,
+            150.0,
+        );
+        assert!(points.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Table-style summaries of network specifications: per-stage parameter
+//! and operation counts (the "before pruning" columns of the paper's
+//! Table II) and an architecture table (Table I).
+
+use crate::spec::{ConvInstance, NetworkSpec, SpecError};
+use std::collections::BTreeMap;
+
+/// Parameter and operation totals for one stage (residual block).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Stage label (`"conv2_x"`, ...).
+    pub stage: String,
+    /// Conv weight parameters.
+    pub params: usize,
+    /// Multiply-accumulates.
+    pub macs: usize,
+    /// Operations (2 per MAC).
+    pub ops: usize,
+    /// Number of conv layers in the stage.
+    pub layers: usize,
+}
+
+/// Per-stage totals in first-appearance order, plus a grand total.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelSummary {
+    /// Network name.
+    pub name: String,
+    /// Per-stage rows.
+    pub stages: Vec<StageCounts>,
+    /// Whole-model conv parameters.
+    pub total_params: usize,
+    /// Whole-model conv ops.
+    pub total_ops: usize,
+}
+
+impl ModelSummary {
+    /// Renders a fixed-width text table (the Table II "before" columns).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.name));
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>12} {:>12}\n",
+            "Stage", "Layers", "Params (M)", "Ops (G)"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>12.3} {:>12.2}\n",
+                s.stage,
+                s.layers,
+                s.params as f64 / 1e6,
+                s.ops as f64 / 1e9
+            ));
+        }
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>12.3} {:>12.2}\n",
+            "Total",
+            self.stages.iter().map(|s| s.layers).sum::<usize>(),
+            self.total_params as f64 / 1e6,
+            self.total_ops as f64 / 1e9
+        ));
+        out
+    }
+}
+
+/// Summarises a spec per stage.
+pub fn summarize(spec: &NetworkSpec) -> Result<ModelSummary, SpecError> {
+    let insts = spec.conv_instances()?;
+    let order = spec.stages()?;
+    let mut map: BTreeMap<&str, StageCounts> = BTreeMap::new();
+    for inst in &insts {
+        let entry = map.entry(&inst.spec.stage).or_insert_with(|| StageCounts {
+            stage: inst.spec.stage.clone(),
+            ..Default::default()
+        });
+        entry.params += inst.spec.params();
+        entry.macs += inst.macs();
+        entry.ops += inst.ops();
+        entry.layers += 1;
+    }
+    let stages: Vec<StageCounts> = order
+        .iter()
+        .map(|s| map.remove(s.as_str()).expect("stage present"))
+        .collect();
+    Ok(ModelSummary {
+        name: spec.name.clone(),
+        total_params: stages.iter().map(|s| s.params).sum(),
+        total_ops: stages.iter().map(|s| s.ops).sum(),
+        stages,
+    })
+}
+
+/// One row of an architecture table (Table I).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchRow {
+    /// Layer name.
+    pub name: String,
+    /// Stage.
+    pub stage: String,
+    /// Kernel descriptor, e.g. `"1x3x3, 144"`.
+    pub kernel: String,
+    /// Output size `DxHxW`.
+    pub output: String,
+}
+
+/// Architecture rows for every convolution (Table I, expanded to
+/// individual layers).
+pub fn architecture_rows(spec: &NetworkSpec) -> Result<Vec<ArchRow>, SpecError> {
+    Ok(spec
+        .conv_instances()?
+        .iter()
+        .map(|i: &ConvInstance| ArchRow {
+            name: i.spec.name.clone(),
+            stage: i.spec.stage.clone(),
+            kernel: format!(
+                "{}x{}x{}, {}",
+                i.spec.kernel.0, i.spec.kernel.1, i.spec.kernel.2, i.spec.out_channels
+            ),
+            output: format!("{}x{}x{}", i.output.1, i.output.2, i.output.3),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r2plus1d::r2plus1d_18;
+
+    #[test]
+    fn summary_matches_table2_shape() {
+        let spec = r2plus1d_18(101);
+        let s = summarize(&spec).unwrap();
+        assert_eq!(s.stages.len(), 5);
+        assert_eq!(s.stages[0].stage, "conv1");
+        assert_eq!(s.stages[1].stage, "conv2_x");
+        // conv2_x dominates operations (Table II: 44.39 of 83.05 G).
+        let conv2_ops = s.stages[1].ops;
+        assert!(s.stages.iter().all(|st| st.ops <= conv2_ops));
+        // conv5_x dominates parameters (24.92 of 33.1 M).
+        let conv5_params = s.stages[4].params;
+        assert!(s.stages.iter().all(|st| st.params <= conv5_params));
+    }
+
+    #[test]
+    fn totals_are_stage_sums() {
+        let spec = r2plus1d_18(101);
+        let s = summarize(&spec).unwrap();
+        assert_eq!(
+            s.total_params,
+            s.stages.iter().map(|st| st.params).sum::<usize>()
+        );
+        assert_eq!(s.total_ops, s.stages.iter().map(|st| st.ops).sum::<usize>());
+    }
+
+    #[test]
+    fn table_renders() {
+        let spec = r2plus1d_18(101);
+        let s = summarize(&spec).unwrap();
+        let t = s.to_table();
+        assert!(t.contains("conv2_x"));
+        assert!(t.contains("Total"));
+    }
+
+    #[test]
+    fn arch_rows_table1() {
+        let spec = r2plus1d_18(101);
+        let rows = architecture_rows(&spec).unwrap();
+        let stem = rows.iter().find(|r| r.name == "conv1.spatial").unwrap();
+        assert_eq!(stem.kernel, "1x7x7, 45");
+        assert_eq!(stem.output, "16x56x56");
+        let c3 = rows.iter().find(|r| r.name == "conv3_1a.spatial").unwrap();
+        assert_eq!(c3.kernel, "1x3x3, 230");
+    }
+}

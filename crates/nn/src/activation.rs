@@ -1,0 +1,86 @@
+//! Activation layers.
+
+use crate::layer::{Layer, Mode, Param};
+use p3d_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`.
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Relu::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+        } else {
+            self.mask = None;
+        }
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("relu backward called before forward(Train)");
+        assert_eq!(mask.len(), grad_out.len(), "relu grad length mismatch");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(grad_out.shape(), data)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn describe(&self) -> String {
+        "relu".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec([4], vec![-2.0, -0.5, 0.0, 3.0]);
+        let y = relu.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_gates_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec([4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let _ = relu.forward(&x, Mode::Train);
+        let g = relu.backward(&Tensor::ones([4]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // The subgradient at exactly 0 is taken as 0.
+        let mut relu = Relu::new();
+        let x = Tensor::zeros([2]);
+        let _ = relu.forward(&x, Mode::Train);
+        let g = relu.backward(&Tensor::ones([2]));
+        assert_eq!(g.data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Checkpointing: saving and restoring network parameters and state.
+//!
+//! The format is a simple self-describing binary: a magic header, then
+//! length-prefixed `(name, shape, f32 data)` records for every parameter
+//! and exported state tensor. No external serialisation crate is needed
+//! for the hot path, and files are byte-identical across platforms
+//! (little-endian).
+
+use crate::layer::Layer;
+use p3d_tensor::{Shape, Tensor};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"P3DCKPT1";
+
+/// A named collection of tensors: parameters plus exported state
+/// (batch-norm running statistics).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Tensors by unique name.
+    pub tensors: BTreeMap<String, Tensor>,
+}
+
+impl Checkpoint {
+    /// Captures every parameter value and exported state tensor of a
+    /// network.
+    pub fn capture(network: &mut dyn Layer) -> Self {
+        let mut tensors = BTreeMap::new();
+        network.visit_params(&mut |p| {
+            tensors.insert(p.name.clone(), p.value.clone());
+        });
+        network.export_state(&mut |name, t| {
+            tensors.insert(name.to_string(), t.clone());
+        });
+        Checkpoint { tensors }
+    }
+
+    /// Restores parameter values *and* exported state (batch-norm
+    /// running statistics) into a network built with the same
+    /// architecture and naming. Returns the number of parameters
+    /// restored (state tensors are restored via
+    /// [`Layer::import_state`] and not counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stored tensor exists for a parameter but with a
+    /// different shape.
+    pub fn restore(&self, network: &mut dyn Layer) -> usize {
+        let mut restored = 0usize;
+        network.visit_params(&mut |p| {
+            if let Some(t) = self.tensors.get(&p.name) {
+                assert_eq!(
+                    t.shape(),
+                    p.value.shape(),
+                    "checkpoint shape mismatch for {}",
+                    p.name
+                );
+                p.value = t.clone();
+                restored += 1;
+            }
+        });
+        network.import_state(&mut |name| self.tensors.get(name).cloned());
+        restored
+    }
+
+    /// Serialises to any writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.tensors.len() as u64).to_le_bytes())?;
+        for (name, t) in &self.tensors {
+            let name_bytes = name.as_bytes();
+            w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+            w.write_all(name_bytes)?;
+            let shape = t.shape();
+            let dims = shape.dims();
+            w.write_all(&(dims.len() as u32).to_le_bytes())?;
+            for &d in dims {
+                w.write_all(&(d as u64).to_le_bytes())?;
+            }
+            for &x in t.data() {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialises from any reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a wrong magic header or malformed
+    /// records.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a p3d checkpoint",
+            ));
+        }
+        let mut u64buf = [0u8; 8];
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u64buf)?;
+        let count = u64::from_le_bytes(u64buf);
+        let mut tensors = BTreeMap::new();
+        for _ in 0..count {
+            r.read_exact(&mut u32buf)?;
+            let name_len = u32::from_le_bytes(u32buf) as usize;
+            let mut name_bytes = vec![0u8; name_len];
+            r.read_exact(&mut name_bytes)?;
+            let name = String::from_utf8(name_bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            r.read_exact(&mut u32buf)?;
+            let rank = u32::from_le_bytes(u32buf) as usize;
+            if rank > p3d_tensor::shape::MAX_RANK {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "rank too large"));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                r.read_exact(&mut u64buf)?;
+                dims.push(u64::from_le_bytes(u64buf) as usize);
+            }
+            let shape = Shape::new(&dims);
+            let mut data = vec![0f32; shape.len()];
+            for x in &mut data {
+                r.read_exact(&mut u32buf)?;
+                *x = f32::from_le_bytes(u32buf);
+            }
+            tensors.insert(name, Tensor::from_vec(shape, data));
+        }
+        Ok(Checkpoint { tensors })
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Loads from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        Checkpoint::read_from(&mut f)
+    }
+
+    /// Total number of scalars stored.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.values().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::Sequential;
+    use crate::conv3d::Conv3d;
+    use crate::layer::Mode;
+    use p3d_tensor::TensorRng;
+
+    fn demo_net(seed: u64) -> Sequential {
+        let mut rng = TensorRng::seed(seed);
+        Sequential::new()
+            .push(Conv3d::new("a", 3, 2, (1, 3, 3), (1, 1, 1), (0, 1, 1), true, &mut rng))
+            .push(crate::batchnorm::BatchNorm3d::new("bn0", 3))
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut net = demo_net(1);
+        // Run a training step so BN stats are non-default.
+        let mut rng = TensorRng::seed(2);
+        let x = rng.uniform_tensor([2, 2, 2, 4, 4], -1.0, 1.0);
+        let _ = net.forward(&x, Mode::Train);
+        let ckpt = Checkpoint::capture(&mut net);
+        let mut buf = Vec::new();
+        ckpt.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&mut &buf[..]).unwrap();
+        assert_eq!(back, ckpt);
+        assert!(back.tensors.contains_key("a.weight"));
+        assert!(back.tensors.contains_key("bn0.running_mean"));
+    }
+
+    #[test]
+    fn restore_into_fresh_network() {
+        let mut net = demo_net(3);
+        let ckpt = Checkpoint::capture(&mut net);
+        let mut fresh = demo_net(4);
+        // Different seed -> different weights before restore.
+        assert_ne!(
+            Checkpoint::capture(&mut fresh).tensors["a.weight"],
+            ckpt.tensors["a.weight"]
+        );
+        let restored = fresh.restore_from(&ckpt);
+        assert_eq!(restored, 4); // weight, bias, gamma, beta
+        assert_eq!(
+            Checkpoint::capture(&mut fresh).tensors["a.weight"],
+            ckpt.tensors["a.weight"]
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let garbage = b"NOTACKPT________";
+        assert!(Checkpoint::read_from(&mut &garbage[..]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut net = demo_net(5);
+        let mut ckpt = Checkpoint::capture(&mut net);
+        ckpt.tensors
+            .insert("a.weight".into(), Tensor::zeros([1, 1, 1, 1, 1]));
+        let _ = ckpt.restore(&mut net);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut net = demo_net(6);
+        let ckpt = Checkpoint::capture(&mut net);
+        let dir = std::env::temp_dir().join("p3d_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.ckpt");
+        ckpt.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.num_scalars(), ckpt.num_scalars());
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// Convenience used in the tests above.
+    trait RestoreExt {
+        fn restore_from(&mut self, ckpt: &Checkpoint) -> usize;
+    }
+    impl RestoreExt for Sequential {
+        fn restore_from(&mut self, ckpt: &Checkpoint) -> usize {
+            ckpt.restore(self)
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! 3D convolution layer with im2col-based forward and backward passes.
+
+use crate::im2col::{col2im, im2col, ConvGeometry};
+use crate::layer::{Layer, Mode, Param, ParamKind};
+use p3d_tensor::{Shape, Tensor, TensorRng};
+
+/// A 3D convolution: weights `[M, N, Kd, Kr, Kc]`, optional bias `[M]`.
+///
+/// This single layer type covers every convolution in the workspace:
+/// standard 3D kernels (C3D, `3x3x3`), the spatial half of an R(2+1)D unit
+/// (`1xKxK`), the temporal half (`Kx1x1`), and `1x1x1` shortcut
+/// projections.
+///
+/// # Example
+///
+/// ```
+/// use p3d_nn::{Conv3d, Layer, Mode};
+/// use p3d_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed(0);
+/// let mut conv = Conv3d::new("c", 4, 2, (1, 3, 3), (1, 1, 1), (0, 1, 1), true, &mut rng);
+/// let x = rng.uniform_tensor([1, 2, 2, 8, 8], -1.0, 1.0);
+/// let y = conv.forward(&x, Mode::Train);
+/// assert_eq!(y.shape().dims(), &[1, 4, 2, 8, 8]);
+/// ```
+pub struct Conv3d {
+    /// Convolution weights, `[M, N, Kd, Kr, Kc]`.
+    pub weight: Param,
+    /// Optional bias, `[M]`.
+    pub bias: Option<Param>,
+    kernel: (usize, usize, usize),
+    stride: (usize, usize, usize),
+    pad: (usize, usize, usize),
+    cached_input: Option<Tensor>,
+}
+
+impl Conv3d {
+    /// Creates a Kaiming-initialised convolution.
+    ///
+    /// `name` prefixes the parameter names (`{name}.weight`,
+    /// `{name}.bias`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        out_channels: usize,
+        in_channels: usize,
+        kernel: (usize, usize, usize),
+        stride: (usize, usize, usize),
+        pad: (usize, usize, usize),
+        bias: bool,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel.0 * kernel.1 * kernel.2;
+        let w = rng.kaiming_normal(
+            Shape::d5(out_channels, in_channels, kernel.0, kernel.1, kernel.2),
+            fan_in,
+        );
+        Conv3d {
+            weight: Param::new(format!("{name}.weight"), ParamKind::ConvWeight, w),
+            bias: bias.then(|| {
+                Param::new(
+                    format!("{name}.bias"),
+                    ParamKind::Bias,
+                    Tensor::zeros([out_channels]),
+                )
+            }),
+            kernel,
+            stride,
+            pad,
+            cached_input: None,
+        }
+    }
+
+    /// Output channels `M`.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+
+    /// Input channels `N`.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.shape().dim(1)
+    }
+
+    /// Kernel extents `(Kd, Kr, Kc)`.
+    pub fn kernel(&self) -> (usize, usize, usize) {
+        self.kernel
+    }
+
+    /// Strides `(Sd, Sr, Sc)`.
+    pub fn stride(&self) -> (usize, usize, usize) {
+        self.stride
+    }
+
+    /// Padding `(Pd, Pr, Pc)`.
+    pub fn pad(&self) -> (usize, usize, usize) {
+        self.pad
+    }
+
+    fn geometry(&self, input_shape: Shape) -> ConvGeometry {
+        assert_eq!(
+            input_shape.rank(),
+            5,
+            "conv3d expects [B, N, D, H, W], got {input_shape}"
+        );
+        assert_eq!(
+            input_shape.dim(1),
+            self.in_channels(),
+            "conv3d {} expects {} input channels, got {}",
+            self.weight.name,
+            self.in_channels(),
+            input_shape.dim(1)
+        );
+        ConvGeometry {
+            channels: self.in_channels(),
+            input: (input_shape.dim(2), input_shape.dim(3), input_shape.dim(4)),
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+}
+
+impl Layer for Conv3d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let geom = self.geometry(input.shape());
+        let batch = input.shape().dim(0);
+        let m = self.out_channels();
+        let (od, oh, ow) = geom.output();
+        let per_in = input.len() / batch;
+        let cols_n = geom.col_cols();
+
+        let w_mat = self
+            .weight
+            .value
+            .reshape(Shape::d2(m, geom.col_rows()));
+        let mut out = Tensor::zeros(Shape::d5(batch, m, od, oh, ow));
+        let per_out = m * cols_n;
+        for b in 0..batch {
+            let cols = im2col(&input.data()[b * per_in..(b + 1) * per_in], &geom);
+            let prod = w_mat.matmul(&cols);
+            let dst = &mut out.data_mut()[b * per_out..(b + 1) * per_out];
+            dst.copy_from_slice(prod.data());
+        }
+        if let Some(bias) = &self.bias {
+            let bd = bias.value.data();
+            for b in 0..batch {
+                for (ch, &bv) in bd.iter().enumerate() {
+                    let base = b * per_out + ch * cols_n;
+                    for x in &mut out.data_mut()[base..base + cols_n] {
+                        *x += bv;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        } else {
+            self.cached_input = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("conv3d backward called before forward(Train)");
+        let geom = self.geometry(input.shape());
+        let batch = input.shape().dim(0);
+        let m = self.out_channels();
+        let cols_n = geom.col_cols();
+        let rows = geom.col_rows();
+        assert_eq!(grad_out.len(), batch * m * cols_n, "grad_out shape mismatch");
+
+        let per_in = input.len() / batch;
+        let per_out = m * cols_n;
+        let w_mat = self.weight.value.reshape(Shape::d2(m, rows));
+        let mut grad_w = Tensor::zeros(Shape::d2(m, rows));
+        let mut grad_in = Tensor::zeros(input.shape());
+
+        for b in 0..batch {
+            let cols = im2col(&input.data()[b * per_in..(b + 1) * per_in], &geom);
+            let g_mat = Tensor::from_vec(
+                Shape::d2(m, cols_n),
+                grad_out.data()[b * per_out..(b + 1) * per_out].to_vec(),
+            );
+            // dL/dW += gOut x cols^T
+            grad_w += &g_mat.matmul_nt(&cols);
+            // dL/dIn = W^T x gOut, scattered back through col2im.
+            let grad_cols = w_mat.matmul_tn(&g_mat);
+            col2im(
+                &grad_cols,
+                &geom,
+                &mut grad_in.data_mut()[b * per_in..(b + 1) * per_in],
+            );
+        }
+        self.weight
+            .grad
+            .axpy(1.0, &grad_w.reshape(self.weight.value.shape()));
+
+        if let Some(bias) = &mut self.bias {
+            for b in 0..batch {
+                for ch in 0..m {
+                    let base = b * per_out + ch * cols_n;
+                    let s: f32 = grad_out.data()[base..base + cols_n].iter().sum();
+                    bias.grad.data_mut()[ch] += s;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv3d({}->{}, {}x{}x{}, stride {:?}, pad {:?})",
+            self.in_channels(),
+            self.out_channels(),
+            self.kernel.0,
+            self.kernel.1,
+            self.kernel.2,
+            self.stride,
+            self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(rngseed: u64) -> (Conv3d, TensorRng) {
+        let mut rng = TensorRng::seed(rngseed);
+        let conv = Conv3d::new("t", 3, 2, (2, 2, 2), (1, 1, 1), (0, 0, 0), true, &mut rng);
+        (conv, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (mut conv, mut rng) = mk(1);
+        let x = rng.uniform_tensor([2, 2, 3, 4, 4], -1.0, 1.0);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape().dims(), &[2, 3, 2, 3, 3]);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut rng = TensorRng::seed(2);
+        let mut conv = Conv3d::new("id", 1, 1, (1, 1, 1), (1, 1, 1), (0, 0, 0), false, &mut rng);
+        conv.weight.value.fill(1.0);
+        let x = rng.uniform_tensor([1, 1, 2, 3, 3], -1.0, 1.0);
+        let y = conv.forward(&x, Mode::Eval);
+        assert!(y.allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn known_sum_kernel() {
+        // All-ones 2x2x2 kernel over an all-ones input sums 8 elements.
+        let mut rng = TensorRng::seed(3);
+        let mut conv = Conv3d::new("s", 1, 1, (2, 2, 2), (1, 1, 1), (0, 0, 0), false, &mut rng);
+        conv.weight.value.fill(1.0);
+        let x = Tensor::ones([1, 1, 2, 2, 2]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1, 1]);
+        assert!((y.data()[0] - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_added_per_channel() {
+        let (mut conv, mut rng) = mk(4);
+        conv.weight.value.fill(0.0);
+        conv.bias.as_mut().unwrap().value =
+            Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let x = rng.uniform_tensor([1, 2, 3, 4, 4], -1.0, 1.0);
+        let y = conv.forward(&x, Mode::Eval);
+        assert!((y.get(&[0, 0, 0, 0, 0]) - 1.0).abs() < 1e-6);
+        assert!((y.get(&[0, 1, 1, 1, 1]) - 2.0).abs() < 1e-6);
+        assert!((y.get(&[0, 2, 0, 2, 2]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stride_and_padding_shapes() {
+        let mut rng = TensorRng::seed(5);
+        // R(2+1)D conv1 spatial: 1x7x7, stride (1,2,2), pad (0,3,3).
+        let mut conv =
+            Conv3d::new("c1", 4, 3, (1, 7, 7), (1, 2, 2), (0, 3, 3), false, &mut rng);
+        let x = rng.uniform_tensor([1, 3, 4, 16, 16], -1.0, 1.0);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape().dims(), &[1, 4, 4, 8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let (mut conv, _) = mk(6);
+        let _ = conv.backward(&Tensor::zeros([1, 3, 1, 1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn channel_mismatch_panics() {
+        let (mut conv, mut rng) = mk(7);
+        let x = rng.uniform_tensor([1, 5, 3, 4, 4], -1.0, 1.0);
+        let _ = conv.forward(&x, Mode::Eval);
+    }
+}

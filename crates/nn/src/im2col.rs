@@ -1,0 +1,252 @@
+//! im2col / col2im lowering for 3D convolution.
+//!
+//! A 3D convolution over a `[N, Di, Hi, Wi]` volume with kernel
+//! `(Kd, Kr, Kc)` is lowered to a matrix multiply: the input is unfolded
+//! into a `[N*Kd*Kr*Kc, Do*Ho*Wo]` column matrix, the weights are viewed
+//! as `[M, N*Kd*Kr*Kc]`, and the product is the `[M, Do*Ho*Wo]` output.
+//! `col2im` is the adjoint (scatter-add) used by the backward pass.
+
+use p3d_tensor::{Shape, Tensor};
+
+/// Geometry of one 3D convolution, shared by forward and backward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub channels: usize,
+    /// Input extents (depth, height, width).
+    pub input: (usize, usize, usize),
+    /// Kernel extents.
+    pub kernel: (usize, usize, usize),
+    /// Strides.
+    pub stride: (usize, usize, usize),
+    /// Symmetric zero padding per side.
+    pub pad: (usize, usize, usize),
+}
+
+impl ConvGeometry {
+    /// Output extents (depth, height, width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel in any axis.
+    pub fn output(&self) -> (usize, usize, usize) {
+        let o = |i: usize, k: usize, s: usize, p: usize| {
+            p3d_tensor::shape::conv_out(i, k, s, p)
+        };
+        (
+            o(self.input.0, self.kernel.0, self.stride.0, self.pad.0),
+            o(self.input.1, self.kernel.1, self.stride.1, self.pad.1),
+            o(self.input.2, self.kernel.2, self.stride.2, self.pad.2),
+        )
+    }
+
+    /// Rows of the column matrix: `N * Kd * Kr * Kc`.
+    pub fn col_rows(&self) -> usize {
+        self.channels * self.kernel.0 * self.kernel.1 * self.kernel.2
+    }
+
+    /// Columns of the column matrix: `Do * Ho * Wo`.
+    pub fn col_cols(&self) -> usize {
+        let (d, h, w) = self.output();
+        d * h * w
+    }
+}
+
+/// Unfolds one `[N, Di, Hi, Wi]` volume (flat slice) into a column matrix
+/// `[N*Kd*Kr*Kc, Do*Ho*Wo]`. Out-of-bounds (padding) positions read zero.
+pub fn im2col(input: &[f32], geom: &ConvGeometry) -> Tensor {
+    let (n, (di, hi, wi)) = (geom.channels, geom.input);
+    let (kd, kr, kc) = geom.kernel;
+    let (sd, sr, sc) = geom.stride;
+    let (pd, pr, pc) = geom.pad;
+    let (od, oh, ow) = geom.output();
+    debug_assert_eq!(input.len(), n * di * hi * wi);
+
+    let rows = geom.col_rows();
+    let cols = geom.col_cols();
+    let mut out = vec![0.0f32; rows * cols];
+
+    let mut row = 0usize;
+    for ch in 0..n {
+        let ch_base = ch * di * hi * wi;
+        for kd_i in 0..kd {
+            for kr_i in 0..kr {
+                for kc_i in 0..kc {
+                    let row_base = row * cols;
+                    let mut col = 0usize;
+                    for od_i in 0..od {
+                        let d = (od_i * sd + kd_i) as isize - pd as isize;
+                        let d_ok = d >= 0 && (d as usize) < di;
+                        for oh_i in 0..oh {
+                            let h = (oh_i * sr + kr_i) as isize - pr as isize;
+                            let h_ok = h >= 0 && (h as usize) < hi;
+                            if !(d_ok && h_ok) {
+                                col += ow;
+                                continue;
+                            }
+                            let plane = ch_base + d as usize * hi * wi + h as usize * wi;
+                            for ow_i in 0..ow {
+                                let w = (ow_i * sc + kc_i) as isize - pc as isize;
+                                if w >= 0 && (w as usize) < wi {
+                                    out[row_base + col] = input[plane + w as usize];
+                                }
+                                col += 1;
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d2(rows, cols), out)
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a column-matrix gradient back into
+/// an input-shaped gradient buffer (flat `[N, Di, Hi, Wi]`).
+pub fn col2im(cols_grad: &Tensor, geom: &ConvGeometry, input_grad: &mut [f32]) {
+    let (n, (di, hi, wi)) = (geom.channels, geom.input);
+    let (kd, kr, kc) = geom.kernel;
+    let (sd, sr, sc) = geom.stride;
+    let (pd, pr, pc) = geom.pad;
+    let (od, oh, ow) = geom.output();
+    let cols = geom.col_cols();
+    debug_assert_eq!(cols_grad.shape().dims(), &[geom.col_rows(), cols]);
+    debug_assert_eq!(input_grad.len(), n * di * hi * wi);
+    let data = cols_grad.data();
+
+    let mut row = 0usize;
+    for ch in 0..n {
+        let ch_base = ch * di * hi * wi;
+        for kd_i in 0..kd {
+            for kr_i in 0..kr {
+                for kc_i in 0..kc {
+                    let row_base = row * cols;
+                    let mut col = 0usize;
+                    for od_i in 0..od {
+                        let d = (od_i * sd + kd_i) as isize - pd as isize;
+                        let d_ok = d >= 0 && (d as usize) < di;
+                        for oh_i in 0..oh {
+                            let h = (oh_i * sr + kr_i) as isize - pr as isize;
+                            let h_ok = h >= 0 && (h as usize) < hi;
+                            if !(d_ok && h_ok) {
+                                col += ow;
+                                continue;
+                            }
+                            let plane = ch_base + d as usize * hi * wi + h as usize * wi;
+                            for ow_i in 0..ow {
+                                let w = (ow_i * sc + kc_i) as isize - pc as isize;
+                                if w >= 0 && (w as usize) < wi {
+                                    input_grad[plane + w as usize] += data[row_base + col];
+                                }
+                                col += 1;
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom_1ch() -> ConvGeometry {
+        ConvGeometry {
+            channels: 1,
+            input: (1, 3, 3),
+            kernel: (1, 2, 2),
+            stride: (1, 1, 1),
+            pad: (0, 0, 0),
+        }
+    }
+
+    #[test]
+    fn output_shape() {
+        let g = ConvGeometry {
+            channels: 3,
+            input: (16, 112, 112),
+            kernel: (1, 7, 7),
+            stride: (1, 2, 2),
+            pad: (0, 3, 3),
+        };
+        assert_eq!(g.output(), (16, 56, 56));
+        assert_eq!(g.col_rows(), 3 * 49);
+        assert_eq!(g.col_cols(), 16 * 56 * 56);
+    }
+
+    #[test]
+    fn im2col_2x2_window() {
+        // 3x3 single-channel image, 2x2 kernel, no pad: 4 output positions.
+        let input: Vec<f32> = (1..=9).map(|x| x as f32).collect();
+        let cols = im2col(&input, &geom_1ch());
+        assert_eq!(cols.shape().dims(), &[4, 4]);
+        // Row 0 is kernel offset (0,0,0): top-left of each window.
+        assert_eq!(&cols.data()[0..4], &[1., 2., 4., 5.]);
+        // Row 3 is offset (0,1,1): bottom-right of each window.
+        assert_eq!(&cols.data()[12..16], &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let g = ConvGeometry {
+            channels: 1,
+            input: (1, 2, 2),
+            kernel: (1, 3, 3),
+            stride: (1, 1, 1),
+            pad: (0, 1, 1),
+        };
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.shape().dims(), &[9, 4]);
+        // Kernel offset (0,0,0) with pad 1: only the bottom-right output
+        // position (1,1) maps inside, to input (0,0).
+        assert_eq!(&cols.data()[0..4], &[0., 0., 0., 1.]);
+        // Centre tap (0,1,1) is the identity.
+        let centre = 4 * 4;
+        assert_eq!(&cols.data()[centre..centre + 4], &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn im2col_temporal_axis() {
+        // Two frames, 1x1 spatial, temporal kernel 2.
+        let g = ConvGeometry {
+            channels: 1,
+            input: (3, 1, 1),
+            kernel: (2, 1, 1),
+            stride: (1, 1, 1),
+            pad: (0, 0, 0),
+        };
+        let input = vec![10.0, 20.0, 30.0];
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.shape().dims(), &[2, 2]);
+        assert_eq!(cols.data(), &[10., 20., 20., 30.]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+        // property of the adjoint, checked on a small random case.
+        use p3d_tensor::TensorRng;
+        let g = ConvGeometry {
+            channels: 2,
+            input: (3, 4, 4),
+            kernel: (2, 2, 2),
+            stride: (1, 2, 2),
+            pad: (1, 0, 1),
+        };
+        let mut rng = TensorRng::seed(11);
+        let x = rng.uniform_tensor([2 * 3 * 4 * 4], -1.0, 1.0);
+        let y = rng.uniform_tensor([g.col_rows() * g.col_cols()], -1.0, 1.0);
+        let cols = im2col(x.data(), &g);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let y_mat = y.reshape([g.col_rows(), g.col_cols()]);
+        let mut back = vec![0.0f32; x.len()];
+        col2im(&y_mat, &g, &mut back);
+        let rhs: f32 = back.iter().zip(x.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Training and evaluation metrics.
+
+use p3d_tensor::Tensor;
+
+/// Top-1 accuracy of logits `[B, K]` against labels.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let s = logits.shape();
+    assert_eq!(s.rank(), 2, "accuracy expects [B, K] logits");
+    let (b, k) = (s.dim(0), s.dim(1));
+    assert_eq!(labels.len(), b, "label count mismatch");
+    let mut correct = 0usize;
+    for bi in 0..b {
+        let row = &logits.data()[bi * k..(bi + 1) * k];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == labels[bi] {
+            correct += 1;
+        }
+    }
+    correct as f32 / b as f32
+}
+
+/// A running average, used for per-epoch loss reporting.
+#[derive(Clone, Debug, Default)]
+pub struct AverageMeter {
+    sum: f64,
+    count: usize,
+}
+
+impl AverageMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        AverageMeter::default()
+    }
+
+    /// Adds `value` with weight `n` (e.g. batch size).
+    pub fn update(&mut self, value: f32, n: usize) {
+        self.sum += value as f64 * n as f64;
+        self.count += n;
+    }
+
+    /// The running mean (0 when empty).
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum / self.count as f64) as f32
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// A `K x K` confusion matrix: `rows = true class`, `cols = predicted`.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// A zeroed `K x K` matrix.
+    pub fn new(num_classes: usize) -> Self {
+        ConfusionMatrix {
+            k: num_classes,
+            counts: vec![0; num_classes * num_classes],
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.k && predicted < self.k, "class out of range");
+        self.counts[truth * self.k + predicted] += 1;
+    }
+
+    /// Records a batch of logits.
+    pub fn record_logits(&mut self, logits: &Tensor, labels: &[usize]) {
+        let (b, k) = (logits.shape().dim(0), logits.shape().dim(1));
+        assert_eq!(k, self.k, "class count mismatch");
+        for bi in 0..b {
+            let row = &logits.data()[bi * k..(bi + 1) * k];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.record(labels[bi], pred);
+        }
+    }
+
+    /// Count for `(truth, predicted)`.
+    pub fn get(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth * self.k + predicted]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.k).map(|i| self.get(i, i)).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Per-class recall (`NaN`-free: classes with no samples report 0).
+    pub fn per_class_recall(&self) -> Vec<f32> {
+        (0..self.k)
+            .map(|t| {
+                let row: usize = (0..self.k).map(|p| self.get(t, p)).sum();
+                if row == 0 {
+                    0.0
+                } else {
+                    self.get(t, t) as f32 / row as f32
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_correct() {
+        let logits = Tensor::from_vec([3, 2], vec![1., 0., 0., 1., 2., 3.]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 1.0).abs() < 1e-6);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn meter_weighted_mean() {
+        let mut m = AverageMeter::new();
+        m.update(1.0, 1);
+        m.update(4.0, 3);
+        assert!((m.mean() - 3.25).abs() < 1e-6);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        assert_eq!(AverageMeter::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_diag() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(1, 1);
+        cm.record(1, 2);
+        cm.record(2, 2);
+        assert_eq!(cm.get(1, 2), 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-6);
+        let recall = cm.per_class_recall();
+        assert!((recall[1] - 0.5).abs() < 1e-6);
+        assert_eq!(recall[0], 1.0);
+    }
+}

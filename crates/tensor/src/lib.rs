@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Dense n-dimensional tensors and fixed-point arithmetic for 3D CNN
+//! workloads.
+//!
+//! This crate is the numeric substrate of the `p3d` workspace, which
+//! reproduces *"3D CNN Acceleration on FPGA using Hardware-Aware Pruning"*
+//! (DAC 2020). It provides:
+//!
+//! * [`Shape`] — shape/stride algebra for up to 5-D tensors (the weight
+//!   tensors of 3D convolutions are 5-D: `[M, N, Kd, Kr, Kc]`),
+//! * [`Tensor`] — a dense, row-major, `f32` tensor with the elementwise,
+//!   reduction, and indexing operations needed by a from-scratch neural
+//!   network stack,
+//! * [`Fixed16`] — the paper's 16-bit fixed-point format (1 sign bit,
+//!   7 integer bits, 8 fractional bits) with saturating arithmetic and the
+//!   wide-accumulator MAC semantics of an FPGA DSP slice,
+//! * [`rng`] — seeded random initialisation (uniform, normal, Kaiming).
+//!
+//! # Example
+//!
+//! ```
+//! use p3d_tensor::{Shape, Tensor};
+//!
+//! // A weight tensor for a 1x3x3 spatial convolution with 8 output and
+//! // 4 input channels.
+//! let w = Tensor::zeros(Shape::new(&[8, 4, 1, 3, 3]));
+//! assert_eq!(w.len(), 8 * 4 * 9);
+//! assert_eq!(w.shape().dims(), &[8, 4, 1, 3, 3]);
+//! ```
+
+pub mod fixed;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use fixed::{Fixed16, FixedTensor};
+pub use rng::TensorRng;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,171 @@
+//! Seeded random initialisation for tensors.
+//!
+//! Every experiment in the workspace is deterministic given its seed, so
+//! all randomness flows through [`TensorRng`], a thin wrapper over a seeded
+//! [`rand::rngs::StdRng`].
+
+use crate::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded random number generator with tensor-initialisation helpers.
+///
+/// # Example
+///
+/// ```
+/// use p3d_tensor::TensorRng;
+///
+/// let mut rng = TensorRng::seed(42);
+/// let w = rng.kaiming_normal([16, 8, 3, 3, 3], 8 * 27);
+/// assert_eq!(w.len(), 16 * 8 * 27);
+/// // Determinism: the same seed yields the same tensor.
+/// let w2 = TensorRng::seed(42).kaiming_normal([16, 8, 3, 3, 3], 8 * 27);
+/// assert_eq!(w, w2);
+/// ```
+pub struct TensorRng {
+    inner: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        TensorRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform sample in `[lo, hi)`; a degenerate range returns `lo`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        if lo >= hi {
+            return lo;
+        }
+        self.inner.random_range(lo..hi)
+    }
+
+    /// A uniform integer sample in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+
+    /// A standard normal sample (Box-Muller; `rand_distr` is not in the
+    /// approved offline dependency set).
+    pub fn normal(&mut self) -> f32 {
+        loop {
+            let u1: f32 = self.inner.random_range(f32::EPSILON..1.0f32);
+            let u2: f32 = self.inner.random_range(0.0f32..1.0f32);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+            if z.is_finite() {
+                return z;
+            }
+        }
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// A tensor of iid uniform samples in `[lo, hi)`.
+    pub fn uniform_tensor(&mut self, shape: impl Into<Shape>, lo: f32, hi: f32) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| self.uniform(lo, hi)).collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// A tensor of iid standard-normal samples scaled by `std`.
+    pub fn normal_tensor(&mut self, shape: impl Into<Shape>, std: f32) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| self.normal() * std).collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Kaiming-normal initialisation for a conv/linear weight with the
+    /// given fan-in (`N * Kd * Kr * Kc` for a 3D conv), i.e.
+    /// `std = sqrt(2 / fan_in)` — appropriate for ReLU networks.
+    pub fn kaiming_normal(&mut self, shape: impl Into<Shape>, fan_in: usize) -> Tensor {
+        assert!(fan_in > 0, "fan_in must be positive");
+        let std = (2.0 / fan_in as f32).sqrt();
+        self.normal_tensor(shape, std)
+    }
+
+    /// A Fisher-Yates shuffle of `0..n`, used for dataset epoch ordering.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.inner.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    }
+
+    /// Forks an independent generator seeded from this one, for
+    /// reproducible parallel streams.
+    pub fn fork(&mut self) -> TensorRng {
+        TensorRng::seed(self.inner.random())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TensorRng::seed(7).uniform_tensor([10], -1.0, 1.0);
+        let b = TensorRng::seed(7).uniform_tensor([10], -1.0, 1.0);
+        assert_eq!(a, b);
+        let c = TensorRng::seed(8).uniform_tensor([10], -1.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = TensorRng::seed(1);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = TensorRng::seed(2);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn kaiming_std() {
+        let mut rng = TensorRng::seed(3);
+        let fan_in = 128;
+        let t = rng.kaiming_normal([64, 128, 3, 3], fan_in * 9);
+        // fan_in here includes the kernel; expected std = sqrt(2/(128*9)).
+        let expected = (2.0 / (fan_in as f32 * 9.0)).sqrt();
+        let mean = t.mean();
+        let std = (t.frobenius_norm_sq() / t.len() as f32 - mean * mean).sqrt();
+        assert!((std - expected).abs() / expected < 0.05);
+    }
+
+    #[test]
+    fn permutation_is_permutation() {
+        let mut rng = TensorRng::seed(4);
+        let p = rng.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut rng = TensorRng::seed(5);
+        let mut a = rng.fork();
+        let mut b = rng.fork();
+        let xs: Vec<f32> = (0..8).map(|_| a.uniform(0.0, 1.0)).collect();
+        let ys: Vec<f32> = (0..8).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor substrate.
+
+use p3d_tensor::fixed::MacAccumulator;
+use p3d_tensor::shape::{ceil_div, conv_out};
+use p3d_tensor::{Fixed16, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 1..=5)
+}
+
+proptest! {
+    #[test]
+    fn shape_offset_bijective(dims in small_dims()) {
+        let s = Shape::new(&dims);
+        let mut seen = vec![false; s.len()];
+        // Walk every index; offsets must be a bijection onto 0..len.
+        for off in 0..s.len() {
+            let idx = s.index_of(off);
+            let back = s.offset(&idx);
+            prop_assert_eq!(back, off);
+            prop_assert!(!seen[back]);
+            seen[back] = true;
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn strides_consistent_with_offset(dims in small_dims()) {
+        let s = Shape::new(&dims);
+        let strides = s.strides();
+        let idx = s.index_of(s.len() - 1);
+        let manual: usize = idx.iter().zip(&strides).map(|(i, st)| i * st).sum();
+        prop_assert_eq!(manual, s.len() - 1);
+    }
+
+    #[test]
+    fn ceil_div_bounds(a in 0usize..10_000, b in 1usize..100) {
+        let c = ceil_div(a, b);
+        prop_assert!(c * b >= a);
+        prop_assert!(c == 0 || (c - 1) * b < a);
+    }
+
+    #[test]
+    fn conv_out_covers_input(input in 1usize..200, kernel in 1usize..8, stride in 1usize..4, pad in 0usize..4) {
+        prop_assume!(input + 2 * pad >= kernel);
+        let o = conv_out(input, kernel, stride, pad);
+        // The last window must start inside the padded input.
+        prop_assert!((o - 1) * stride + kernel <= input + 2 * pad);
+        // One more output position would overflow.
+        prop_assert!(o * stride + kernel > input + 2 * pad);
+    }
+
+    #[test]
+    fn axpy_matches_reference(xs in prop::collection::vec(-10.0f32..10.0, 1..64),
+                              ys in prop::collection::vec(-10.0f32..10.0, 1..64),
+                              alpha in -2.0f32..2.0) {
+        let n = xs.len().min(ys.len());
+        let a = Tensor::from_vec([n], xs[..n].to_vec());
+        let b = Tensor::from_vec([n], ys[..n].to_vec());
+        let mut c = a.clone();
+        c.axpy(alpha, &b);
+        for i in 0..n {
+            prop_assert!((c.data()[i] - (xs[i] + alpha * ys[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in prop::collection::vec(-3.0f32..3.0, 6),
+        b in prop::collection::vec(-3.0f32..3.0, 6),
+        c in prop::collection::vec(-3.0f32..3.0, 6),
+    ) {
+        let a = Tensor::from_vec([2, 3], a);
+        let b = Tensor::from_vec([3, 2], b);
+        let c = Tensor::from_vec([3, 2], c);
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn fixed_conversion_error_bounded(x in -127.9f32..127.9) {
+        let q = Fixed16::from_f32(x);
+        prop_assert!((q.to_f32() - x).abs() <= 0.5 / 256.0 + 1e-6);
+    }
+
+    #[test]
+    fn fixed_add_commutes(a in -60.0f32..60.0, b in -60.0f32..60.0) {
+        let (fa, fb) = (Fixed16::from_f32(a), Fixed16::from_f32(b));
+        prop_assert_eq!(fa + fb, fb + fa);
+        prop_assert_eq!(fa * fb, fb * fa);
+    }
+
+    #[test]
+    fn fixed_add_matches_float_in_range(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+        let sum = Fixed16::from_f32(a) + Fixed16::from_f32(b);
+        // Two quantisations plus exact fixed add: error < 1 ULP.
+        prop_assert!((sum.to_f32() - (a + b)).abs() <= 1.0 / 256.0 + 1e-6);
+    }
+
+    #[test]
+    fn mac_matches_float_reference(pairs in prop::collection::vec((-2.0f32..2.0, -2.0f32..2.0), 1..128)) {
+        let mut acc = MacAccumulator::new();
+        let mut reference = 0.0f64;
+        for &(a, b) in &pairs {
+            let (fa, fb) = (Fixed16::from_f32(a), Fixed16::from_f32(b));
+            acc.mac(fa, fb);
+            reference += fa.to_f32() as f64 * fb.to_f32() as f64;
+        }
+        prop_assume!(reference.abs() < 120.0);
+        let got = acc.finish().to_f32() as f64;
+        // The accumulator is exact; only the final rounding loses <= 1/512.
+        prop_assert!((got - reference).abs() <= 0.5 / 256.0 + 1e-6);
+    }
+
+    #[test]
+    fn frobenius_norm_scales(xs in prop::collection::vec(-5.0f32..5.0, 1..64), k in -3.0f32..3.0) {
+        let t = Tensor::from_vec([xs.len()], xs);
+        let scaled = &t * k;
+        prop_assert!((scaled.frobenius_norm() - k.abs() * t.frobenius_norm()).abs() < 1e-3);
+    }
+}

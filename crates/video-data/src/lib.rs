@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Synthetic spatio-temporal action-recognition data.
+//!
+//! The paper trains and evaluates on UCF101 (transferred from Kinetics) —
+//! datasets of real video that are far outside what a self-contained
+//! reproduction can ship. This crate provides the substitution documented
+//! in `DESIGN.md`: procedurally generated clips whose **class identity is
+//! carried by motion, not appearance**. Every class draws the same shapes
+//! at the same random starting positions; only the motion pattern
+//! (translation direction, orbit handedness, scaling, blinking) differs.
+//! A single frame is therefore uninformative and a classifier must use
+//! temporal kernels — exactly the property that makes 3D CNNs (and the
+//! preservation of their temporal kernels under pruning) testable.
+//!
+//! # Example
+//!
+//! ```
+//! use p3d_video_data::{GeneratorConfig, SyntheticVideo};
+//! use p3d_nn::Dataset;
+//!
+//! let config = GeneratorConfig::small(); // 8 frames of 24x24
+//! let data = SyntheticVideo::generate(&config, 40, 7);
+//! assert_eq!(data.len(), 40);
+//! let (clip, label) = data.sample(0);
+//! assert_eq!(clip.shape().dims(), &[1, 8, 24, 24]);
+//! assert!(label < config.num_classes);
+//! ```
+
+pub mod augment;
+pub mod generator;
+pub mod motion;
+
+pub use generator::{GeneratorConfig, SyntheticVideo};
+pub use motion::{Motion, ShapeKind};

@@ -1,0 +1,61 @@
+//! Explores the accelerator design space for a board of your choosing
+//! and prints the latency/resource frontier — Section IV-B as a library
+//! call.
+//!
+//! ```text
+//! cargo run --release --example design_space [zcu102|zc706]
+//! ```
+
+use p3d::fpga::{explore, Board, SearchSpace};
+use p3d::models::r2plus1d_18;
+use p3d::pruning::PrunedModel;
+
+fn main() {
+    let board = match std::env::args().nth(1).as_deref() {
+        Some("zc706") => Board::zc706(),
+        _ => Board::zcu102(),
+    };
+    let spec = r2plus1d_18(101);
+    let space = SearchSpace::standard();
+    println!(
+        "exploring {} tilings for unpruned {} on {}...",
+        space.len(),
+        spec.name,
+        board.name
+    );
+    let points = explore(&spec, &PrunedModel::dense(), &space, &board, 150.0);
+    println!("{} feasible designs; best 8 by latency:\n", points.len());
+    println!(
+        "{:>28}  {:>12} {:>6} {:>8} {:>7}",
+        "tiling (Tm,Tn,Td,Tr,Tc)", "latency (ms)", "DSP", "BRAM36", "LUT(K)"
+    );
+    for p in points.iter().take(8) {
+        println!(
+            "{:>28}  {:>12.0} {:>6} {:>8.0} {:>7}",
+            format!(
+                "({},{},{},{},{})",
+                p.tiling.tm, p.tiling.tn, p.tiling.td, p.tiling.tr, p.tiling.tc
+            ),
+            p.ms,
+            p.resources.dsps,
+            p.resources.bram36_partitioned,
+            p.resources.luts / 1000,
+        );
+    }
+
+    // The resource/latency trade-off: show the cheapest design within
+    // 25% of the best latency.
+    if let Some(best) = points.first() {
+        let frugal = points
+            .iter()
+            .filter(|p| p.ms <= best.ms * 1.25)
+            .min_by_key(|p| p.resources.dsps);
+        if let Some(f) = frugal {
+            println!(
+                "\ncheapest design within 25% of best latency: ({},{},{},{},{}) — {} DSPs, {:.0} ms",
+                f.tiling.tm, f.tiling.tn, f.tiling.td, f.tiling.tr, f.tiling.tc,
+                f.resources.dsps, f.ms
+            );
+        }
+    }
+}

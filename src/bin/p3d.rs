@@ -1,0 +1,305 @@
+//! The `p3d` command-line interface: train, prune, evaluate and simulate
+//! models of the DAC 2020 reproduction without writing Rust.
+//!
+//! ```text
+//! p3d train    [--model lite|lite-wide|micro|c3d-lite] [--epochs N]
+//!              [--clips N] [--seed S] [--out model.ckpt]
+//! p3d eval     --ckpt model.ckpt [--model ...] [--clips N]
+//! p3d prune    --ckpt model.ckpt [--model ...] [--tm 8] [--tn 4]
+//!              [--eta2 0.9] [--eta3 0.8] [--retrain N] [--out pruned.ckpt]
+//! p3d simulate --ckpt model.ckpt [--model ...] [--tm 8] [--tn 4]
+//! p3d tables   (prints the paper-table summaries)
+//! ```
+//!
+//! All data is the synthetic motion dataset; determinism follows from
+//! `--seed`.
+
+use p3d::fpga::{AcceleratorConfig, Ports, QuantizedNetwork, Tiling};
+use p3d::models::{
+    build_network, c3d_lite, r2plus1d_lite, r2plus1d_lite_wide, r2plus1d_micro, NetworkSpec,
+};
+use p3d::nn::{
+    evaluate, Checkpoint, CrossEntropyLoss, Dataset, LrSchedule, Sequential, Sgd, Trainer,
+};
+use p3d::pruning::{
+    targets_for_stages, AdmmConfig, AdmmPruner, BlockShape, KeepRule, PrunedModel,
+};
+use p3d::video_data::{GeneratorConfig, SyntheticVideo};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} requires a value"))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<String, String> {
+        self.flags
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+fn model_spec(name: &str) -> Result<NetworkSpec, String> {
+    match name {
+        "lite" => Ok(r2plus1d_lite(10)),
+        "lite-wide" => Ok(r2plus1d_lite_wide(10)),
+        "micro" => Ok(r2plus1d_micro(10)),
+        "c3d-lite" => Ok(c3d_lite(10)),
+        other => Err(format!(
+            "unknown model '{other}' (expected lite|lite-wide|micro|c3d-lite)"
+        )),
+    }
+}
+
+fn dataset_for(spec: &NetworkSpec, clips: usize, seed: u64) -> (SyntheticVideo, SyntheticVideo) {
+    let (c, d, h, w) = spec.input;
+    assert_eq!(c, 1, "CLI models are single-channel");
+    let config = GeneratorConfig {
+        frames: d,
+        height: h,
+        width: w,
+        num_classes: 10,
+        noise_std: 0.03,
+        speed: (1.0, 2.5),
+        radius: (2.5, h as f32 / 6.0),
+        distractors: 0,
+    };
+    SyntheticVideo::train_test(&config, clips, clips / 2, seed)
+}
+
+fn load_into(spec: &NetworkSpec, ckpt_path: &str, seed: u64) -> Result<Sequential, String> {
+    let mut net = build_network(spec, seed);
+    let ckpt = Checkpoint::load(ckpt_path).map_err(|e| format!("cannot load {ckpt_path}: {e}"))?;
+    let n = ckpt.restore(&mut net);
+    if n == 0 {
+        return Err(format!(
+            "checkpoint {ckpt_path} matches no parameters of this model"
+        ));
+    }
+    Ok(net)
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let model = args.get("model", "lite".to_string())?;
+    let spec = model_spec(&model)?;
+    let epochs: usize = args.get("epochs", 20)?;
+    let clips: usize = args.get("clips", 200)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let out = args.get("out", "model.ckpt".to_string())?;
+
+    let (train, test) = dataset_for(&spec, clips, seed);
+    let mut net = build_network(&spec, seed);
+    let mut trainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(1e-2, 0.9, 1e-4), 16, seed);
+    for e in 0..epochs {
+        let st = trainer.train_epoch(&mut net, &train, None);
+        eprintln!("epoch {:>3}: loss {:.4}, train acc {:.3}", e + 1, st.loss, st.accuracy);
+    }
+    let acc = trainer.evaluate(&mut net, &test);
+    println!("{model}: test accuracy {acc:.4} after {epochs} epochs");
+    Checkpoint::capture(&mut net)
+        .save(&out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("saved checkpoint to {out}");
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let model = args.get("model", "lite".to_string())?;
+    let spec = model_spec(&model)?;
+    let clips: usize = args.get("clips", 200)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let ckpt = args.required("ckpt")?;
+    let mut net = load_into(&spec, &ckpt, seed)?;
+    let (_, test) = dataset_for(&spec, clips, seed);
+    let acc = evaluate(&mut net, &test, 16);
+    println!("{model}: test accuracy {acc:.4} ({} clips)", test.len());
+    Ok(())
+}
+
+fn cmd_prune(args: &Args) -> Result<(), String> {
+    let model = args.get("model", "lite".to_string())?;
+    let spec = model_spec(&model)?;
+    let clips: usize = args.get("clips", 200)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let tm: usize = args.get("tm", 8)?;
+    let tn: usize = args.get("tn", 4)?;
+    let eta2: f64 = args.get("eta2", 0.9)?;
+    let eta3: f64 = args.get("eta3", 0.8)?;
+    let retrain: usize = args.get("retrain", 15)?;
+    let ckpt = args.required("ckpt")?;
+    let out = args.get("out", "pruned.ckpt".to_string())?;
+
+    let mut net = load_into(&spec, &ckpt, seed)?;
+    let (train, test) = dataset_for(&spec, clips, seed);
+    let before = evaluate(&mut net, &test, 16);
+
+    let stage2 = if model == "c3d-lite" { "conv2" } else { "conv2_x" };
+    let stage3 = if model == "c3d-lite" { "conv3" } else { "conv3_x" };
+    let targets = targets_for_stages(&spec, &[(stage2, eta2), (stage3, eta3)]);
+    if targets.is_empty() {
+        return Err("no prunable layers found".into());
+    }
+    let mut trainer = Trainer::new(
+        CrossEntropyLoss::with_smoothing(0.1),
+        Sgd::new(5e-3, 0.9, 1e-4),
+        16,
+        seed + 1,
+    );
+    let admm = AdmmConfig {
+        rho_schedule: vec![2e-2, 1e-1, 4e-1],
+        epochs_per_round: 6,
+        epochs_per_admm_update: 3,
+        keep_rule: KeepRule::Round,
+        epsilon: 0.05,
+    };
+    let mut pruner = AdmmPruner::new(&mut net, BlockShape::new(tm, tn), &targets, admm);
+    eprintln!("ADMM training...");
+    let log = pruner.admm_train(&mut net, &mut trainer, &train);
+    eprintln!(
+        "final primal residual: {:.3}",
+        log.rounds.last().map(|r| r.max_primal_residual).unwrap_or(f32::NAN)
+    );
+    let pruned = pruner.hard_prune(&mut net);
+    let schedule = LrSchedule::WarmupCosine {
+        base_lr: 5e-3,
+        warmup_epochs: 2,
+        total_epochs: retrain,
+        min_lr: 1e-5,
+    };
+    let mut retrainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(5e-3, 0.9, 1e-4), 16, seed + 2);
+    AdmmPruner::retrain(&mut net, &mut retrainer, &train, &schedule, retrain);
+    let after = evaluate(&mut net, &test, 16);
+    println!(
+        "accuracy: {before:.4} -> {after:.4} at {:.0}% kept weights in pruned stages",
+        pruned.kept_fraction() * 100.0
+    );
+    Checkpoint::capture(&mut net)
+        .save(&out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("saved pruned checkpoint to {out}");
+    for (layer, mask) in &pruned.layers {
+        println!(
+            "  {layer}: {}/{} blocks enabled",
+            mask.enabled_blocks(),
+            mask.grid.num_blocks()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let model = args.get("model", "lite".to_string())?;
+    let spec = model_spec(&model)?;
+    let clips: usize = args.get("clips", 60)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let tm: usize = args.get("tm", 8)?;
+    let tn: usize = args.get("tn", 4)?;
+    let ckpt = args.required("ckpt")?;
+    let mut net = load_into(&spec, &ckpt, seed)?;
+    let (_, test) = dataset_for(&spec, clips, seed);
+
+    let accel = AcceleratorConfig {
+        tiling: Tiling::new(tm, tn, 2, 8, 8),
+        ports: Ports::new(2, 2, 2),
+        freq_mhz: 150.0,
+        data_bits: 16,
+    };
+    let q = QuantizedNetwork::from_network(&spec, &mut net, accel.clone());
+    let mut correct = 0usize;
+    let mut cycles = 0u64;
+    for i in 0..test.len() {
+        let (clip, label) = test.sample(i);
+        let out = q.forward(&clip, &PrunedModel::dense());
+        cycles += out.total_cycles();
+        if out.prediction == label {
+            correct += 1;
+        }
+    }
+    println!(
+        "Q7.8 simulated accuracy: {:.4} ({} clips)",
+        correct as f32 / test.len() as f32,
+        test.len()
+    );
+    println!(
+        "mean latency: {:.3} ms/clip at {} MHz on a ({tm},{tn}) MAC array",
+        accel.cycles_to_ms(cycles / test.len() as u64),
+        accel.freq_mhz
+    );
+    Ok(())
+}
+
+fn cmd_tables() -> Result<(), String> {
+    println!("The table regeneration binaries live in the p3d-bench crate:\n");
+    for (bin, what) in [
+        ("table1", "R(2+1)D architecture (Table I)"),
+        ("table2", "ADMM pruning rates (Table II)"),
+        ("table3", "ZCU102 resource utilization (Table III)"),
+        ("table4", "performance comparison (Table IV)"),
+        ("accuracy", "Section V accuracy experiment (trains)"),
+        ("dse", "design-space exploration"),
+        ("layer_latency", "per-layer latency/traffic breakdown"),
+        ("sweep_sparsity", "latency vs pruning-ratio curve"),
+        ("sweep_blockshape", "block-granularity sweep"),
+        ("ablation_granularity", "blockwise vs unstructured vs channel"),
+        ("ablation_doublebuffer", "overlap on/off"),
+        ("ablation_admm", "ADMM vs one-shot magnitude (trains)"),
+        ("ablation_quantization", "fixed-point precision sweep (trains)"),
+        ("ablation_winograd", "Winograd vs pruning"),
+        ("generality", "C3D pruning (trains)"),
+    ] {
+        println!("  cargo run --release -p p3d-bench --bin {bin:<22} # {what}");
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err("usage: p3d <train|eval|prune|simulate|tables> [--flag value ...]".into());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "prune" => cmd_prune(&args),
+        "simulate" => cmd_simulate(&args),
+        "tables" => cmd_tables(),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests for the `p3d` command-line interface.
+
+use std::process::Command;
+
+fn p3d() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_p3d"))
+}
+
+#[test]
+fn no_command_prints_usage() {
+    let out = p3d().output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = p3d().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn unknown_model_rejected() {
+    let out = p3d()
+        .args(["train", "--model", "resnet-900", "--epochs", "1"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+}
+
+#[test]
+fn missing_required_flag_reported() {
+    let out = p3d().args(["eval"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--ckpt is required"));
+}
+
+#[test]
+fn tables_lists_bench_binaries() {
+    let out = p3d().arg("tables").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for bin in ["table1", "table4", "accuracy", "ablation_winograd"] {
+        assert!(text.contains(bin), "missing {bin} in tables output");
+    }
+}
+
+#[test]
+fn train_eval_simulate_roundtrip() {
+    let dir = std::env::temp_dir().join("p3d_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("micro.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    let out = p3d()
+        .args([
+            "train", "--model", "micro", "--epochs", "2", "--clips", "30", "--seed", "7",
+            "--out", ckpt_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(ckpt.exists(), "checkpoint not written");
+
+    let out = p3d()
+        .args(["eval", "--model", "micro", "--ckpt", ckpt_s, "--clips", "30", "--seed", "7"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("test accuracy"));
+
+    let out = p3d()
+        .args([
+            "simulate", "--model", "micro", "--ckpt", ckpt_s, "--tm", "4", "--tn", "4",
+            "--clips", "10", "--seed", "7",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simulated accuracy"));
+    assert!(text.contains("ms/clip"));
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn eval_with_wrong_model_for_checkpoint_fails() {
+    let dir = std::env::temp_dir().join("p3d_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("micro2.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let out = p3d()
+        .args([
+            "train", "--model", "micro", "--epochs", "1", "--clips", "20", "--out", ckpt_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    // c3d-lite has entirely different parameter names.
+    let out = p3d()
+        .args(["eval", "--model", "c3d-lite", "--ckpt", ckpt_s])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    // Either the clean no-overlap error, or the shape-mismatch panic from
+    // a colliding parameter name (both models call their classifier "fc").
+    assert!(
+        err.contains("matches no parameters") || err.contains("shape mismatch"),
+        "unexpected failure mode: {err}"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+}
