@@ -1,0 +1,34 @@
+//! Conv3d training-step throughput at 1/2/4 threads.
+//!
+//! Forces the worker count via the programmatic override (equivalent to
+//! setting `P3D_THREADS`), validates every parallel run against the
+//! serial baseline to 1e-5, prints a table, and writes
+//! `BENCH_conv3d.json` into the current directory.
+
+use p3d_bench::throughput::{run_conv3d_throughput, Conv3dBenchConfig};
+use p3d_bench::TableWriter;
+
+fn main() {
+    let cfg = Conv3dBenchConfig::standard();
+    println!(
+        "conv3d train step: batch {}, {}->{} channels, kernel {:?}, input {:?}, best of {} reps\n",
+        cfg.batch, cfg.in_channels, cfg.out_channels, cfg.kernel, cfg.input, cfg.reps
+    );
+    let report = run_conv3d_throughput(&cfg);
+
+    let mut t = TableWriter::new(&["Threads", "Step (ms)", "Speedup", "Max |diff| vs serial"]);
+    for r in &report.results {
+        t.row(&[
+            r.threads.to_string(),
+            format!("{:.2}", r.step_ms),
+            format!("{:.2}x", r.speedup_vs_serial),
+            format!("{:.1e}", r.max_abs_diff_vs_serial),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let json = report.to_json();
+    let path = "BENCH_conv3d.json";
+    std::fs::write(path, &json).expect("failed to write BENCH_conv3d.json");
+    println!("\nwrote {path}");
+}

@@ -13,7 +13,9 @@
 pub mod masks;
 pub mod published;
 pub mod table;
+pub mod throughput;
 
 pub use masks::{paper_pruned_model, uniform_mask};
 pub use published::{PublishedRow, TABLE4_ROWS};
 pub use table::TableWriter;
+pub use throughput::{run_conv3d_throughput, Conv3dBenchConfig, Conv3dBenchReport};

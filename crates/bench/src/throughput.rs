@@ -1,0 +1,277 @@
+//! Conv3d training-step throughput benchmark with thread scaling.
+//!
+//! Measures forward+backward wall time of a batch of clips through one
+//! `Conv3d` layer at several `P3D_THREADS` settings (forced via
+//! [`p3d_tensor::parallel::set_thread_override`]), checks every parallel
+//! result against the serial baseline, and renders the result as a small
+//! hand-rolled JSON document (the workspace's serde stand-in is
+//! derive-only, so no JSON backend exists to lean on).
+//!
+//! Run the full benchmark with:
+//!
+//! ```text
+//! cargo run --release -p p3d-bench --bin conv3d_throughput
+//! ```
+//!
+//! which writes `BENCH_conv3d.json` into the current directory.
+
+use p3d_nn::{Conv3d, Layer, Mode};
+use p3d_tensor::parallel::set_thread_override;
+use p3d_tensor::{Tensor, TensorRng};
+use std::time::Instant;
+
+/// Shape and repetition parameters for one benchmark run.
+#[derive(Clone, Debug)]
+pub struct Conv3dBenchConfig {
+    /// Clips per batch.
+    pub batch: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel extents `(Kd, Kr, Kc)`.
+    pub kernel: (usize, usize, usize),
+    /// Input volume `(D, H, W)`.
+    pub input: (usize, usize, usize),
+    /// Timed forward+backward repetitions per thread count (the best of
+    /// these is reported, after one untimed warm-up).
+    pub reps: usize,
+    /// Thread counts to measure; must start with `1` (the serial
+    /// baseline all other rows are validated against).
+    pub threads: Vec<usize>,
+}
+
+impl Conv3dBenchConfig {
+    /// The headline configuration: batch-4 training step of a mid-network
+    /// `3x3x3` convolution.
+    pub fn standard() -> Self {
+        Conv3dBenchConfig {
+            batch: 4,
+            in_channels: 16,
+            out_channels: 16,
+            kernel: (3, 3, 3),
+            input: (8, 14, 14),
+            reps: 5,
+            threads: vec![1, 2, 4],
+        }
+    }
+
+    /// A seconds-scale smoke configuration for `cargo test`.
+    pub fn smoke() -> Self {
+        Conv3dBenchConfig {
+            batch: 2,
+            in_channels: 2,
+            out_channels: 2,
+            kernel: (2, 2, 2),
+            input: (2, 4, 4),
+            reps: 1,
+            threads: vec![1, 2],
+        }
+    }
+}
+
+/// Measured numbers for one thread count.
+#[derive(Clone, Debug)]
+pub struct ThreadResult {
+    /// Forced worker count.
+    pub threads: usize,
+    /// Best forward+backward wall time, milliseconds.
+    pub step_ms: f64,
+    /// Speed-up relative to the 1-thread row (`>1` is faster).
+    pub speedup_vs_serial: f64,
+    /// Largest absolute output/gradient deviation from the serial run
+    /// (forward output, input gradient, and weight gradient).
+    pub max_abs_diff_vs_serial: f64,
+}
+
+/// A complete benchmark report.
+#[derive(Clone, Debug)]
+pub struct Conv3dBenchReport {
+    /// The configuration that was run.
+    pub config: Conv3dBenchConfig,
+    /// One row per thread count, in `config.threads` order.
+    pub results: Vec<ThreadResult>,
+}
+
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+struct StepOutput {
+    forward: Tensor,
+    grad_in: Tensor,
+    grad_w: Tensor,
+    best_ms: f64,
+}
+
+fn run_at(cfg: &Conv3dBenchConfig, threads: usize) -> StepOutput {
+    set_thread_override(Some(threads));
+    let mut rng = TensorRng::seed(2020);
+    let (kd, kr, kc) = cfg.kernel;
+    let pad = (kd / 2, kr / 2, kc / 2);
+    let mut conv = Conv3d::new(
+        "bench",
+        cfg.out_channels,
+        cfg.in_channels,
+        cfg.kernel,
+        (1, 1, 1),
+        pad,
+        true,
+        &mut rng,
+    );
+    let (d, h, w) = cfg.input;
+    let x = rng.uniform_tensor([cfg.batch, cfg.in_channels, d, h, w], -1.0, 1.0);
+
+    // Warm-up (also produces the tensors we validate against).
+    let y = conv.forward(&x, Mode::Train);
+    let g = rng.uniform_tensor(y.shape(), -1.0, 1.0);
+    conv.weight.grad.fill(0.0);
+    let grad_in = conv.backward(&g);
+    let grad_w = conv.weight.grad.clone();
+
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..cfg.reps.max(1) {
+        conv.weight.grad.fill(0.0);
+        if let Some(b) = &mut conv.bias {
+            b.grad.fill(0.0);
+        }
+        let t0 = Instant::now();
+        let yy = conv.forward(&x, Mode::Train);
+        let gg = conv.backward(&g);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box((yy, gg));
+        best_ms = best_ms.min(ms);
+    }
+    set_thread_override(None);
+    StepOutput {
+        forward: y,
+        grad_in,
+        grad_w,
+        best_ms,
+    }
+}
+
+/// Runs the benchmark across every thread count in `cfg.threads`.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` does not start with `1`, or if any parallel
+/// run deviates from the serial baseline by more than `1e-5`.
+pub fn run_conv3d_throughput(cfg: &Conv3dBenchConfig) -> Conv3dBenchReport {
+    assert_eq!(
+        cfg.threads.first(),
+        Some(&1),
+        "thread list must start with the serial baseline"
+    );
+    let mut results = Vec::with_capacity(cfg.threads.len());
+    let mut serial: Option<StepOutput> = None;
+    for &t in &cfg.threads {
+        let out = run_at(cfg, t);
+        let (diff, speedup) = match &serial {
+            None => (0.0, 1.0),
+            Some(base) => {
+                let d = max_abs_diff(&base.forward, &out.forward)
+                    .max(max_abs_diff(&base.grad_in, &out.grad_in))
+                    .max(max_abs_diff(&base.grad_w, &out.grad_w));
+                assert!(
+                    d <= 1e-5,
+                    "{t}-thread run deviates from serial by {d} (> 1e-5)"
+                );
+                (d, base.best_ms / out.best_ms)
+            }
+        };
+        results.push(ThreadResult {
+            threads: t,
+            step_ms: out.best_ms,
+            speedup_vs_serial: speedup,
+            max_abs_diff_vs_serial: diff,
+        });
+        if serial.is_none() {
+            serial = Some(out);
+        }
+    }
+    Conv3dBenchReport {
+        config: cfg.clone(),
+        results,
+    }
+}
+
+impl Conv3dBenchReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let host_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"benchmark\": \"conv3d_train_step\",\n");
+        s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+        s.push_str("  \"config\": {\n");
+        s.push_str(&format!("    \"batch\": {},\n", c.batch));
+        s.push_str(&format!("    \"in_channels\": {},\n", c.in_channels));
+        s.push_str(&format!("    \"out_channels\": {},\n", c.out_channels));
+        s.push_str(&format!(
+            "    \"kernel\": [{}, {}, {}],\n",
+            c.kernel.0, c.kernel.1, c.kernel.2
+        ));
+        s.push_str(&format!(
+            "    \"input\": [{}, {}, {}],\n",
+            c.input.0, c.input.1, c.input.2
+        ));
+        s.push_str(&format!("    \"reps\": {}\n", c.reps));
+        s.push_str("  },\n");
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"threads\": {}, \"step_ms\": {:.4}, \"speedup_vs_serial\": {:.3}, \"max_abs_diff_vs_serial\": {:.3e}}}{}\n",
+                r.threads,
+                r.step_ms,
+                r.speedup_vs_serial,
+                r.max_abs_diff_vs_serial,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_valid_report() {
+        let report = run_conv3d_throughput(&Conv3dBenchConfig::smoke());
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.results[0].threads, 1);
+        for r in &report.results {
+            assert!(r.step_ms.is_finite() && r.step_ms > 0.0);
+            assert!(r.max_abs_diff_vs_serial <= 1e-5);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"conv3d_train_step\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"threads\": 2"));
+        // Balanced braces / brackets — cheap structural sanity.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "serial baseline")]
+    fn thread_list_must_start_serial() {
+        let mut cfg = Conv3dBenchConfig::smoke();
+        cfg.threads = vec![2, 4];
+        let _ = run_conv3d_throughput(&cfg);
+    }
+}

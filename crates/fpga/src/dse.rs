@@ -79,8 +79,12 @@ pub struct DesignPoint {
 
 /// Exhaustively evaluates every feasible tiling for `spec` (with block
 /// masks from `pruned`), returning design points sorted by latency.
-/// Evaluation is parallelised across candidates with crossbeam scoped
-/// threads.
+/// Evaluation is parallelised across candidates via the workspace-wide
+/// [`p3d_tensor::parallel`] layer (`P3D_THREADS` applies here too).
+///
+/// An empty search space — any axis with no candidates — returns an
+/// empty result immediately. (Previously the chunking arithmetic
+/// degenerated on an empty candidate list.)
 pub fn explore(
     spec: &NetworkSpec,
     pruned: &PrunedModel,
@@ -88,64 +92,49 @@ pub fn explore(
     board: &Board,
     freq_mhz: f64,
 ) -> Vec<DesignPoint> {
+    if space.is_empty() {
+        return Vec::new();
+    }
     let instances = spec.conv_instances().expect("spec must shape-check");
     let candidates = space.candidates();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(candidates.len().max(1));
-    let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
 
-    let mut results: Vec<DesignPoint> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|chunk| {
-                let instances = &instances;
-                s.spawn(move |_| {
-                    let mut local = Vec::new();
-                    for &tiling in chunk {
-                        // Pruned block masks only apply when the tiling's
-                        // (Tm, Tn) equals the pruning block shape — the
-                        // co-design constraint of the paper.
-                        let mask_applicable = pruned
-                            .block_shape
-                            .map(|b| b.tm == tiling.tm && b.tn == tiling.tn)
-                            .unwrap_or(false);
-                        let effective = if mask_applicable {
-                            pruned.clone()
-                        } else {
-                            PrunedModel::dense()
-                        };
-                        let config = AcceleratorConfig {
-                            ports: Ports::for_tiling(&tiling),
-                            tiling,
-                            freq_mhz,
-                            data_bits: 16,
-                        };
-                        let est = estimate_resources(instances, &config);
-                        if !fits(&est, board) {
-                            continue;
-                        }
-                        let lat =
-                            network_latency(spec, &config, &effective, DoubleBuffering::On);
-                        local.push(DesignPoint {
-                            tiling,
-                            ms: config.cycles_to_ms(lat.total_cycles),
-                            cycles: lat.total_cycles,
-                            resources: est,
-                        });
-                    }
-                    local
-                })
+    // One candidate per task; results come back in candidate order, so
+    // the final sort (stable) is deterministic run-to-run.
+    let evaluated: Vec<Option<DesignPoint>> =
+        p3d_tensor::parallel::parallel_map(candidates.len(), |i| {
+            let tiling = candidates[i];
+            // Pruned block masks only apply when the tiling's (Tm, Tn)
+            // equals the pruning block shape — the co-design constraint
+            // of the paper.
+            let mask_applicable = pruned
+                .block_shape
+                .map(|b| b.tm == tiling.tm && b.tn == tiling.tn)
+                .unwrap_or(false);
+            let effective = if mask_applicable {
+                pruned.clone()
+            } else {
+                PrunedModel::dense()
+            };
+            let config = AcceleratorConfig {
+                ports: Ports::for_tiling(&tiling),
+                tiling,
+                freq_mhz,
+                data_bits: 16,
+            };
+            let est = estimate_resources(&instances, &config);
+            if !fits(&est, board) {
+                return None;
+            }
+            let lat = network_latency(spec, &config, &effective, DoubleBuffering::On);
+            Some(DesignPoint {
+                tiling,
+                ms: config.cycles_to_ms(lat.total_cycles),
+                cycles: lat.total_cycles,
+                resources: est,
             })
-            .collect();
-        for h in handles {
-            results.extend(h.join().expect("DSE worker panicked"));
-        }
-    })
-    .expect("DSE scope failed");
+        });
 
+    let mut results: Vec<DesignPoint> = evaluated.into_iter().flatten().collect();
     results.sort_by_key(|a| a.cycles);
     results
 }
@@ -213,6 +202,29 @@ mod tests {
         } else {
             panic!("expected both paper points to be feasible");
         }
+    }
+
+    #[test]
+    fn empty_search_space_returns_no_points() {
+        // Regression: an empty candidate list used to degenerate the
+        // chunking arithmetic; now it early-returns.
+        let spec = r2plus1d_18(101);
+        let empty = SearchSpace {
+            tm: vec![],
+            tn: vec![8],
+            td: vec![4],
+            tr: vec![14],
+            tc: vec![14],
+        };
+        assert!(empty.is_empty());
+        let points = explore(
+            &spec,
+            &PrunedModel::dense(),
+            &empty,
+            &Board::zcu102(),
+            150.0,
+        );
+        assert!(points.is_empty());
     }
 
     #[test]

@@ -23,10 +23,11 @@ impl Default for Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        // Only Train refreshes the mask; Eval leaves any cached state
+        // intact so an interleaved validation pass cannot clobber the
+        // pending backward (see `tests/interleave.rs`).
         if mode == Mode::Train {
             self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
-        } else {
-            self.mask = None;
         }
         input.map(|x| x.max(0.0))
     }

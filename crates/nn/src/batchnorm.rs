@@ -1,6 +1,7 @@
 //! Batch normalisation over 3D feature volumes.
 
 use crate::layer::{Layer, Mode, Param, ParamKind};
+use p3d_tensor::parallel::{parallel_chunk_map, parallel_zip_chunk_map};
 use p3d_tensor::Tensor;
 
 /// Batch normalisation for `[B, C, D, H, W]` activations, normalising per
@@ -137,30 +138,35 @@ impl Layer for BatchNorm3d {
         let mut normalized = Tensor::zeros(input.shape());
         let mut out = Tensor::zeros(input.shape());
         {
-            let nd = normalized.data_mut();
-            let od = out.data_mut();
-            for bi in 0..b {
-                for ch in 0..c {
-                    let base = (bi * c + ch) * spatial;
+            let gamma = self.gamma.value.data();
+            let beta = self.beta.value.data();
+            // Parallel over [batch x channel] planes; `normalized` and
+            // `out` planes advance in lockstep under one worker each.
+            parallel_zip_chunk_map(
+                normalized.data_mut(),
+                spatial.max(1),
+                out.data_mut(),
+                spatial.max(1),
+                |plane, nd, od| {
+                    let ch = plane % c;
+                    let base = plane * spatial;
                     let (m, is) = (mean[ch], inv_std[ch]);
-                    let (g, be) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
-                    for i in base..base + spatial {
-                        let n = (data[i] - m) * is;
-                        nd[i] = n;
-                        od[i] = g * n + be;
+                    let (g, be) = (gamma[ch], beta[ch]);
+                    for (i, (n_out, o_out)) in nd.iter_mut().zip(od.iter_mut()).enumerate() {
+                        let n = (data[base + i] - m) * is;
+                        *n_out = n;
+                        *o_out = g * n + be;
                     }
-                }
-            }
+                },
+            );
         }
-        self.cache = if mode == Mode::Train {
-            Some(BnCache {
+        if mode == Mode::Train {
+            self.cache = Some(BnCache {
                 normalized,
                 inv_std,
                 input_shape: input.shape(),
-            })
-        } else {
-            None
-        };
+            });
+        }
         out
     }
 
@@ -196,19 +202,18 @@ impl Layer for BatchNorm3d {
 
         // dL/dx = gamma * inv_std * (g - mean(g) - xhat * mean(g*xhat))
         let mut grad_in = Tensor::zeros(s);
-        let gi = grad_in.data_mut();
-        for bi in 0..b {
-            for ch in 0..c {
-                let base = (bi * c + ch) * spatial;
-                let g = self.gamma.value.data()[ch];
-                let is = cache.inv_std[ch];
-                let mg = sum_g[ch] / count;
-                let mgx = sum_gx[ch] / count;
-                for i in base..base + spatial {
-                    gi[i] = g * is * (g_out[i] - mg - norm[i] * mgx);
-                }
+        let gamma = self.gamma.value.data();
+        parallel_chunk_map(grad_in.data_mut(), spatial.max(1), |plane, gi| {
+            let ch = plane % c;
+            let base = plane * spatial;
+            let g = gamma[ch];
+            let is = cache.inv_std[ch];
+            let mg = sum_g[ch] / count;
+            let mgx = sum_gx[ch] / count;
+            for (i, x) in gi.iter_mut().enumerate() {
+                *x = g * is * (g_out[base + i] - mg - norm[base + i] * mgx);
             }
-        }
+        });
         grad_in
     }
 

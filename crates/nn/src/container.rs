@@ -130,10 +130,10 @@ impl Layer for ResidualBlock {
             short_out.shape()
         );
         let sum = &main_out + &short_out;
+        // Only Train refreshes the mask; Eval must not clobber a pending
+        // backward's cached state.
         if mode == Mode::Train {
             self.relu_mask = Some(sum.data().iter().map(|&x| x > 0.0).collect());
-        } else {
-            self.relu_mask = None;
         }
         sum.map(|x| x.max(0.0))
     }

@@ -2,6 +2,7 @@
 
 use crate::im2col::{col2im, im2col, ConvGeometry};
 use crate::layer::{Layer, Mode, Param, ParamKind};
+use p3d_tensor::parallel::{parallel_chunk_map, parallel_chunk_map_collect};
 use p3d_tensor::{Shape, Tensor, TensorRng};
 
 /// A 3D convolution: weights `[M, N, Kd, Kr, Kc]`, optional bias `[M]`.
@@ -135,27 +136,24 @@ impl Layer for Conv3d {
             .reshape(Shape::d2(m, geom.col_rows()));
         let mut out = Tensor::zeros(Shape::d5(batch, m, od, oh, ow));
         let per_out = m * cols_n;
-        for b in 0..batch {
+        let bias_data = self.bias.as_ref().map(|b| b.value.data());
+        // Batch-parallel: each worker owns one clip's output slice. The
+        // inner matmul detects the nesting and runs serially, so this
+        // never oversubscribes (see `p3d_tensor::parallel`).
+        parallel_chunk_map(out.data_mut(), per_out, |b, dst| {
             let cols = im2col(&input.data()[b * per_in..(b + 1) * per_in], &geom);
             let prod = w_mat.matmul(&cols);
-            let dst = &mut out.data_mut()[b * per_out..(b + 1) * per_out];
             dst.copy_from_slice(prod.data());
-        }
-        if let Some(bias) = &self.bias {
-            let bd = bias.value.data();
-            for b in 0..batch {
+            if let Some(bd) = bias_data {
                 for (ch, &bv) in bd.iter().enumerate() {
-                    let base = b * per_out + ch * cols_n;
-                    for x in &mut out.data_mut()[base..base + cols_n] {
+                    for x in &mut dst[ch * cols_n..(ch + 1) * cols_n] {
                         *x += bv;
                     }
                 }
             }
-        }
+        });
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
-        } else {
-            self.cached_input = None;
         }
         out
     }
@@ -175,35 +173,51 @@ impl Layer for Conv3d {
         let per_in = input.len() / batch;
         let per_out = m * cols_n;
         let w_mat = self.weight.value.reshape(Shape::d2(m, rows));
-        let mut grad_w = Tensor::zeros(Shape::d2(m, rows));
         let mut grad_in = Tensor::zeros(input.shape());
+        let want_bias = self.bias.is_some();
 
-        for b in 0..batch {
-            let cols = im2col(&input.data()[b * per_in..(b + 1) * per_in], &geom);
-            let g_mat = Tensor::from_vec(
-                Shape::d2(m, cols_n),
-                grad_out.data()[b * per_out..(b + 1) * per_out].to_vec(),
-            );
-            // dL/dW += gOut x cols^T
-            grad_w += &g_mat.matmul_nt(&cols);
-            // dL/dIn = W^T x gOut, scattered back through col2im.
-            let grad_cols = w_mat.matmul_tn(&g_mat);
-            col2im(
-                &grad_cols,
-                &geom,
-                &mut grad_in.data_mut()[b * per_in..(b + 1) * per_in],
-            );
+        // Batch-parallel: each worker owns one clip's grad_in slice and
+        // returns its *local* weight/bias gradient contribution. The
+        // per-clip results come back in clip order and are reduced
+        // serially below, so the accumulated gradients are bitwise
+        // identical for any thread count.
+        let locals: Vec<(Tensor, Vec<f32>)> =
+            parallel_chunk_map_collect(grad_in.data_mut(), per_in, |b, gin| {
+                let cols = im2col(&input.data()[b * per_in..(b + 1) * per_in], &geom);
+                let g_mat = Tensor::from_vec(
+                    Shape::d2(m, cols_n),
+                    grad_out.data()[b * per_out..(b + 1) * per_out].to_vec(),
+                );
+                // dL/dW (this clip) = gOut x cols^T
+                let gw = g_mat.matmul_nt(&cols);
+                // dL/dIn = W^T x gOut, scattered back through col2im.
+                let grad_cols = w_mat.matmul_tn(&g_mat);
+                col2im(&grad_cols, &geom, gin);
+                let gb = if want_bias {
+                    (0..m)
+                        .map(|ch| g_mat.data()[ch * cols_n..(ch + 1) * cols_n].iter().sum())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                (gw, gb)
+            });
+
+        // Deterministic reduction: fixed clip order, independent of how
+        // clips were distributed across workers.
+        let mut grad_w = Tensor::zeros(Shape::d2(m, rows));
+        for (gw, _) in &locals {
+            grad_w += gw;
         }
         self.weight
             .grad
             .axpy(1.0, &grad_w.reshape(self.weight.value.shape()));
 
         if let Some(bias) = &mut self.bias {
-            for b in 0..batch {
-                for ch in 0..m {
-                    let base = b * per_out + ch * cols_n;
-                    let s: f32 = grad_out.data()[base..base + cols_n].iter().sum();
-                    bias.grad.data_mut()[ch] += s;
+            let bg = bias.grad.data_mut();
+            for (_, gb) in &locals {
+                for (ch, &g) in gb.iter().enumerate() {
+                    bg[ch] += g;
                 }
             }
         }

@@ -61,10 +61,10 @@ impl Layer for Linear {
                 }
             }
         }
+        // Eval must not clobber a Train-cached input (interleaved
+        // validation between forward(Train) and backward is legal).
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
-        } else {
-            self.cached_input = None;
         }
         out
     }

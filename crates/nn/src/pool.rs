@@ -2,6 +2,7 @@
 //! spatio-temporal average pool that closes both R(2+1)D and C3D.
 
 use crate::layer::{Layer, Mode, Param};
+use p3d_tensor::parallel::{parallel_chunk_map, parallel_zip_chunk_map};
 use p3d_tensor::{Shape, Tensor};
 
 fn pooled_extent(i: usize, k: usize, s: usize) -> usize {
@@ -55,10 +56,18 @@ impl Layer for MaxPool3d {
 
         let mut out = Tensor::zeros(Shape::d5(b, c, od, oh, ow));
         let mut argmax = vec![0usize; out.len()];
-        let mut oi = 0usize;
-        for bi in 0..b {
-            for ch in 0..c {
-                let base = (bi * c + ch) * di * hi * wi;
+        let plane_out = od * oh * ow;
+        let plane_in = di * hi * wi;
+        // Parallel over [batch x channel] planes: value and argmax planes
+        // advance in lockstep, each plane owned by exactly one worker.
+        parallel_zip_chunk_map(
+            out.data_mut(),
+            plane_out.max(1),
+            &mut argmax,
+            plane_out.max(1),
+            |plane, out_plane, arg_plane| {
+                let base = plane * plane_in;
+                let mut oi = 0usize;
                 for odi in 0..od {
                     for ohi in 0..oh {
                         for owi in 0..ow {
@@ -78,20 +87,17 @@ impl Layer for MaxPool3d {
                                     }
                                 }
                             }
-                            out.data_mut()[oi] = best;
-                            argmax[oi] = best_off;
+                            out_plane[oi] = best;
+                            arg_plane[oi] = best_off;
                             oi += 1;
                         }
                     }
                 }
-            }
-        }
+            },
+        );
         if mode == Mode::Train {
             self.argmax = Some(argmax);
             self.input_shape = Some(s);
-        } else {
-            self.argmax = None;
-            self.input_shape = None;
         }
         out
     }
@@ -145,13 +151,13 @@ impl Layer for GlobalAvgPool {
         let (b, c) = (s.dim(0), s.dim(1));
         let spatial = s.dim(2) * s.dim(3) * s.dim(4);
         let mut out = Tensor::zeros(Shape::d2(b, c));
-        for bi in 0..b {
-            for ch in 0..c {
+        let data = input.data();
+        parallel_chunk_map(out.data_mut(), c.max(1), |bi, row| {
+            for (ch, o) in row.iter_mut().enumerate() {
                 let base = (bi * c + ch) * spatial;
-                out.data_mut()[bi * c + ch] =
-                    input.data()[base..base + spatial].iter().sum::<f32>() / spatial as f32;
+                *o = data[base..base + spatial].iter().sum::<f32>() / spatial as f32;
             }
-        }
+        });
         if mode == Mode::Train {
             self.input_shape = Some(s);
         }
@@ -166,15 +172,13 @@ impl Layer for GlobalAvgPool {
         let spatial = s.dim(2) * s.dim(3) * s.dim(4);
         assert_eq!(grad_out.shape().dims(), &[b, c], "grad shape mismatch");
         let mut grad_in = Tensor::zeros(s);
-        for bi in 0..b {
-            for ch in 0..c {
-                let g = grad_out.data()[bi * c + ch] / spatial as f32;
-                let base = (bi * c + ch) * spatial;
-                for x in &mut grad_in.data_mut()[base..base + spatial] {
-                    *x = g;
-                }
+        let god = grad_out.data();
+        parallel_chunk_map(grad_in.data_mut(), spatial.max(1), |plane, chunk| {
+            let g = god[plane] / spatial as f32;
+            for x in chunk.iter_mut() {
+                *x = g;
             }
-        }
+        });
         grad_in
     }
 

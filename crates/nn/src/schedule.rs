@@ -52,7 +52,8 @@ impl LrSchedule {
                 min_lr,
             } => {
                 if epoch < warmup_epochs {
-                    // Linear ramp from base_lr / (warmup+1) up to base_lr.
+                    // Linear ramp: epoch 0 starts at base_lr / warmup_epochs
+                    // and epoch warmup_epochs-1 reaches base_lr exactly.
                     base_lr * (epoch + 1) as f32 / warmup_epochs as f32
                 } else {
                     let t = (epoch - warmup_epochs) as f32

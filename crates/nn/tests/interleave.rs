@@ -1,0 +1,152 @@
+//! Regression tests for the eval-clobbers-train-cache bug.
+//!
+//! The training loop legitimately interleaves a validation pass between
+//! `forward(Train)` and `backward` (e.g. mid-epoch metrics). Before the
+//! fix, every cached-state layer *cleared* its Train cache on an Eval
+//! forward, so the subsequent `backward` either panicked or silently used
+//! stale state. The contract is now: Eval never touches cached Train
+//! state; only a Train forward refreshes it.
+
+use p3d_nn::{
+    BatchNorm3d, Conv3d, Layer, Linear, MaxPool3d, Mode, Relu, ResidualBlock, Sequential,
+};
+use p3d_tensor::{Tensor, TensorRng};
+
+/// Runs `layer` through forward(Train) on `x`, then — on the interleaved
+/// copy — an extra forward(Eval) on `x_eval`, then backward on both and
+/// asserts identical input gradients.
+fn assert_interleave_safe<L: Layer>(
+    mut plain: L,
+    mut interleaved: L,
+    x: &Tensor,
+    x_eval: &Tensor,
+    grad_seed: u64,
+) {
+    let y1 = plain.forward(x, Mode::Train);
+    let y2 = interleaved.forward(x, Mode::Train);
+    assert_eq!(y1, y2, "train forwards diverge before the eval pass");
+
+    // The interleaved validation pass that used to clobber the cache.
+    let _ = interleaved.forward(x_eval, Mode::Eval);
+
+    let mut rng = TensorRng::seed(grad_seed);
+    let g = rng.uniform_tensor(y1.shape(), -1.0, 1.0);
+    let gi1 = plain.backward(&g);
+    let gi2 = interleaved.backward(&g);
+    assert_eq!(
+        gi1, gi2,
+        "eval pass between forward(Train) and backward changed the gradient"
+    );
+}
+
+#[test]
+fn conv3d_survives_eval_between_train_and_backward() {
+    let mut rng = TensorRng::seed(10);
+    let mk = || {
+        let mut r = TensorRng::seed(99);
+        Conv3d::new("c", 3, 2, (2, 2, 2), (1, 1, 1), (0, 0, 0), true, &mut r)
+    };
+    let x = rng.uniform_tensor([2, 2, 3, 4, 4], -1.0, 1.0);
+    let x_eval = rng.uniform_tensor([1, 2, 3, 4, 4], -1.0, 1.0);
+    assert_interleave_safe(mk(), mk(), &x, &x_eval, 1);
+}
+
+#[test]
+fn linear_survives_eval_between_train_and_backward() {
+    let mut rng = TensorRng::seed(11);
+    let mk = || {
+        let mut r = TensorRng::seed(98);
+        Linear::new("l", 4, 6, true, &mut r)
+    };
+    let x = rng.uniform_tensor([3, 6], -1.0, 1.0);
+    let x_eval = rng.uniform_tensor([5, 6], -1.0, 1.0);
+    assert_interleave_safe(mk(), mk(), &x, &x_eval, 2);
+}
+
+#[test]
+fn relu_survives_eval_between_train_and_backward() {
+    let mut rng = TensorRng::seed(12);
+    let x = rng.uniform_tensor([2, 3, 2, 4, 4], -1.0, 1.0);
+    let x_eval = rng.uniform_tensor([2, 3, 2, 4, 4], -1.0, 1.0);
+    assert_interleave_safe(Relu::new(), Relu::new(), &x, &x_eval, 3);
+}
+
+#[test]
+fn maxpool_survives_eval_between_train_and_backward() {
+    let mut rng = TensorRng::seed(13);
+    let x = rng.uniform_tensor([2, 2, 2, 4, 4], -1.0, 1.0);
+    let x_eval = rng.uniform_tensor([1, 2, 2, 4, 4], -1.0, 1.0);
+    assert_interleave_safe(
+        MaxPool3d::new((1, 2, 2), (1, 2, 2)),
+        MaxPool3d::new((1, 2, 2), (1, 2, 2)),
+        &x,
+        &x_eval,
+        4,
+    );
+}
+
+#[test]
+fn batchnorm_survives_eval_between_train_and_backward() {
+    let mut rng = TensorRng::seed(14);
+    let x = rng.uniform_tensor([3, 2, 2, 3, 3], -1.0, 1.0);
+    let x_eval = rng.uniform_tensor([2, 2, 2, 3, 3], -1.0, 1.0);
+    assert_interleave_safe(
+        BatchNorm3d::new("bn", 2),
+        BatchNorm3d::new("bn", 2),
+        &x,
+        &x_eval,
+        5,
+    );
+}
+
+#[test]
+fn residual_block_survives_eval_between_train_and_backward() {
+    let mk = || {
+        let mut r = TensorRng::seed(97);
+        let main = Sequential::new()
+            .push(Conv3d::new(
+                "m",
+                2,
+                2,
+                (1, 3, 3),
+                (1, 1, 1),
+                (0, 1, 1),
+                false,
+                &mut r,
+            ))
+            .push(Relu::new());
+        ResidualBlock::identity(main)
+    };
+    let mut rng = TensorRng::seed(15);
+    let x = rng.uniform_tensor([2, 2, 2, 4, 4], -1.0, 1.0);
+    let x_eval = rng.uniform_tensor([2, 2, 2, 4, 4], -1.0, 1.0);
+    assert_interleave_safe(mk(), mk(), &x, &x_eval, 6);
+}
+
+#[test]
+fn weight_grads_also_match_after_interleaved_eval() {
+    // Beyond input gradients: accumulated parameter gradients must be
+    // identical too (Conv3d reduces per-clip contributions in clip order).
+    let mk = || {
+        let mut r = TensorRng::seed(96);
+        Conv3d::new("w", 2, 2, (2, 2, 2), (1, 1, 1), (0, 0, 0), true, &mut r)
+    };
+    let mut plain = mk();
+    let mut interleaved = mk();
+    let mut rng = TensorRng::seed(16);
+    let x = rng.uniform_tensor([3, 2, 3, 4, 4], -1.0, 1.0);
+    let x_eval = rng.uniform_tensor([1, 2, 3, 4, 4], -1.0, 1.0);
+
+    let y = plain.forward(&x, Mode::Train);
+    let _ = interleaved.forward(&x, Mode::Train);
+    let _ = interleaved.forward(&x_eval, Mode::Eval);
+    let g = rng.uniform_tensor(y.shape(), -1.0, 1.0);
+    let _ = plain.backward(&g);
+    let _ = interleaved.backward(&g);
+
+    assert_eq!(plain.weight.grad, interleaved.weight.grad);
+    assert_eq!(
+        plain.bias.as_ref().unwrap().grad,
+        interleaved.bias.as_ref().unwrap().grad
+    );
+}

@@ -14,7 +14,9 @@
 //! * [`Fixed16`] — the paper's 16-bit fixed-point format (1 sign bit,
 //!   7 integer bits, 8 fractional bits) with saturating arithmetic and the
 //!   wide-accumulator MAC semantics of an FPGA DSP slice,
-//! * [`rng`] — seeded random initialisation (uniform, normal, Kaiming).
+//! * [`rng`] — seeded random initialisation (uniform, normal, Kaiming),
+//! * [`parallel`] — the scoped-thread parallel-for layer behind the
+//!   multi-threaded GEMM and convolution kernels (`P3D_THREADS`).
 //!
 //! # Example
 //!
@@ -29,6 +31,7 @@
 //! ```
 
 pub mod fixed;
+pub mod parallel;
 pub mod rng;
 pub mod shape;
 pub mod tensor;

@@ -1,0 +1,425 @@
+//! Workspace-wide parallel execution layer for the training/inference hot
+//! path.
+//!
+//! This module mirrors, in software, the structure of the paper's tiled
+//! accelerator (Algorithm 2): work is cut into contiguous, disjoint
+//! chunks, each chunk runs on its own worker, and reductions happen in a
+//! **fixed, deterministic order** afterwards — so results are bitwise
+//! identical regardless of thread count.
+//!
+//! # Thread count
+//!
+//! Workers are `std::thread::scope` scoped threads (no pool to shut down,
+//! no `unsafe`, no external dependency). The effective worker count is,
+//! in priority order:
+//!
+//! 1. a process-wide programmatic override ([`set_thread_override`]),
+//!    used by benches and determinism tests,
+//! 2. the `P3D_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With one worker (or one chunk) everything runs inline on the caller's
+//! thread — the serial path is the degenerate case, not a separate code
+//! path.
+//!
+//! # Nesting
+//!
+//! Calls from inside a worker run serially (a thread-local guard detects
+//! nesting), so `Conv3d::forward` can batch-parallelise over clips while
+//! its inner `matmul` — which parallelises over output rows for the
+//! batch=1 inference case — degrades gracefully instead of
+//! oversubscribing cores.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` means "no override"; any other value is the forced worker count.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Forces the worker count process-wide (`None` restores the
+/// `P3D_THREADS` / `available_parallelism` default).
+///
+/// Intended for benches and determinism tests; prefer the `P3D_THREADS`
+/// environment variable for deployment configuration.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The number of workers parallel helpers may use right now.
+///
+/// Returns `1` (serial) when called from inside a parallel worker — see
+/// the module docs on nesting.
+pub fn max_threads() -> usize {
+    if IN_PARALLEL_WORKER.with(|f| f.get()) {
+        return 1;
+    }
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("P3D_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..n_items` into at most `max_threads()` contiguous ranges of
+/// near-equal length (first `rem` ranges get one extra item).
+fn split_ranges(n_items: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = threads.min(n_items).max(1);
+    let base = n_items / workers;
+    let rem = n_items % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let len = base + usize::from(w < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` on contiguous index ranges covering `0..n_items`, in
+/// parallel. `f` receives the range it owns.
+///
+/// Serial (inline) when `n_items <= 1`, when only one worker is
+/// available, or when already inside a parallel worker.
+pub fn parallel_for<F>(n_items: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if n_items == 0 {
+        return;
+    }
+    let threads = max_threads();
+    if threads <= 1 || n_items == 1 {
+        f(0..n_items);
+        return;
+    }
+    let ranges = split_ranges(n_items, threads);
+    std::thread::scope(|scope| {
+        for range in ranges {
+            let f = &f;
+            scope.spawn(move || {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                f(range);
+                IN_PARALLEL_WORKER.with(|flag| flag.set(false));
+            });
+        }
+    });
+}
+
+/// Maps `f` over `0..n_items` in parallel, returning results **in index
+/// order** (the deterministic-reduction building block: reduce the
+/// returned `Vec` serially in its natural order).
+pub fn parallel_map<R, F>(n_items: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n_items);
+    slots.resize_with(n_items, || None);
+    // Reuse the chunked primitive: each worker fills its own disjoint
+    // slots, so no synchronisation is needed and order is preserved.
+    parallel_chunk_map(&mut slots, 1, |i, slot| {
+        slot[0] = Some(f(i));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel_map worker skipped a slot"))
+        .collect()
+}
+
+/// Cuts `data` into consecutive chunks of `chunk_len` items (the final
+/// chunk may be shorter) and runs `f(chunk_index, chunk)` on each, in
+/// parallel. Chunks are disjoint `&mut` slices, so workers can write
+/// without synchronisation; chunk indices are global and stable.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` while `data` is non-empty.
+pub fn parallel_chunk_map<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = max_threads();
+    if threads <= 1 || n_chunks == 1 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    // Hand each worker a contiguous run of whole chunks.
+    let ranges = split_ranges(n_chunks, threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0usize;
+        for range in ranges {
+            let items = ((range.end * chunk_len).min(consumed + rest.len())) - consumed;
+            let (mine, tail) = rest.split_at_mut(items);
+            rest = tail;
+            consumed += items;
+            let f = &f;
+            let first_chunk = range.start;
+            scope.spawn(move || {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                for (k, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+                    f(first_chunk + k, chunk);
+                }
+                IN_PARALLEL_WORKER.with(|flag| flag.set(false));
+            });
+        }
+    });
+}
+
+/// Like [`parallel_chunk_map`] but each chunk also *returns* a value;
+/// results come back **in chunk order** for deterministic reduction.
+pub fn parallel_chunk_map_collect<T, R, F>(data: &mut [T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    if data.is_empty() {
+        return Vec::new();
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n_chunks);
+    results.resize_with(n_chunks, || None);
+    let threads = max_threads();
+    if threads <= 1 || n_chunks == 1 {
+        for ((ci, chunk), slot) in data.chunks_mut(chunk_len).enumerate().zip(&mut results) {
+            *slot = Some(f(ci, chunk));
+        }
+    } else {
+        let ranges = split_ranges(n_chunks, threads);
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut result_rest = results.as_mut_slice();
+            let mut consumed = 0usize;
+            for range in ranges {
+                let items = ((range.end * chunk_len).min(consumed + rest.len())) - consumed;
+                let (mine, tail) = rest.split_at_mut(items);
+                rest = tail;
+                consumed += items;
+                let (my_slots, slot_tail) = result_rest.split_at_mut(range.len());
+                result_rest = slot_tail;
+                let f = &f;
+                let first_chunk = range.start;
+                scope.spawn(move || {
+                    IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                    for ((k, chunk), slot) in
+                        mine.chunks_mut(chunk_len).enumerate().zip(my_slots)
+                    {
+                        *slot = Some(f(first_chunk + k, chunk));
+                    }
+                    IN_PARALLEL_WORKER.with(|flag| flag.set(false));
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|s| s.expect("parallel_chunk_map_collect worker skipped a slot"))
+        .collect()
+}
+
+/// Runs `f(chunk_index, a_chunk, b_chunk)` over two equally-chunked
+/// buffers in lockstep, in parallel — for kernels that fill two outputs
+/// per region (e.g. max-pool value + argmax, batch-norm normalized +
+/// output).
+///
+/// # Panics
+///
+/// Panics unless `a.len() / chunk_a == b.len() / chunk_b` (same chunk
+/// count, exact division).
+#[allow(clippy::manual_is_multiple_of)] // MSRV 1.75: `is_multiple_of` is 1.87+
+pub fn parallel_zip_chunk_map<A, B, F>(
+    a: &mut [A],
+    chunk_a: usize,
+    b: &mut [B],
+    chunk_b: usize,
+    f: F,
+) where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    if a.is_empty() && b.is_empty() {
+        return;
+    }
+    assert!(chunk_a > 0 && chunk_b > 0, "chunk lengths must be positive");
+    assert!(
+        // `% == 0` rather than `is_multiple_of` (stable only since 1.87;
+        // the workspace declares rust-version 1.75).
+        a.len() % chunk_a == 0 && b.len() % chunk_b == 0,
+        "buffers must divide evenly into chunks"
+    );
+    let n_chunks = a.len() / chunk_a;
+    assert_eq!(n_chunks, b.len() / chunk_b, "chunk count mismatch");
+    let threads = max_threads();
+    if threads <= 1 || n_chunks <= 1 {
+        for (ci, (ca, cb)) in a.chunks_mut(chunk_a).zip(b.chunks_mut(chunk_b)).enumerate() {
+            f(ci, ca, cb);
+        }
+        return;
+    }
+    let ranges = split_ranges(n_chunks, threads);
+    std::thread::scope(|scope| {
+        let mut rest_a = a;
+        let mut rest_b = b;
+        for range in ranges {
+            let (mine_a, tail_a) = rest_a.split_at_mut(range.len() * chunk_a);
+            let (mine_b, tail_b) = rest_b.split_at_mut(range.len() * chunk_b);
+            rest_a = tail_a;
+            rest_b = tail_b;
+            let f = &f;
+            let first_chunk = range.start;
+            scope.spawn(move || {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                for (k, (ca, cb)) in mine_a
+                    .chunks_mut(chunk_a)
+                    .zip(mine_b.chunks_mut(chunk_b))
+                    .enumerate()
+                {
+                    f(first_chunk + k, ca, cb);
+                }
+                IN_PARALLEL_WORKER.with(|flag| flag.set(false));
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that touch the process-wide override.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn split_ranges_partitions() {
+        for n in 0..40 {
+            for t in 1..9 {
+                let ranges = split_ranges(n, t);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                if n > 0 {
+                    assert!(ranges.len() <= t);
+                    let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(mx - mn <= 1, "unbalanced split {lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_is_ordered() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1, 2, 8] {
+            set_thread_override(Some(threads));
+            let out = parallel_map(23, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn chunk_map_fills_disjoint_chunks() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1, 3, 8] {
+            set_thread_override(Some(threads));
+            let mut data = vec![0usize; 17];
+            parallel_chunk_map(&mut data, 5, |ci, chunk| {
+                for x in chunk.iter_mut() {
+                    *x = ci + 1;
+                }
+            });
+            let expect: Vec<usize> = (0..17).map(|i| i / 5 + 1).collect();
+            assert_eq!(data, expect);
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn chunk_map_collect_in_order() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1, 4] {
+            set_thread_override(Some(threads));
+            let mut data: Vec<u64> = (0..12).collect();
+            let sums = parallel_chunk_map_collect(&mut data, 4, |ci, chunk| {
+                (ci, chunk.iter().sum::<u64>())
+            });
+            assert_eq!(sums, vec![(0, 6), (1, 22), (2, 38)]);
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn zip_chunk_map_lockstep() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1, 4] {
+            set_thread_override(Some(threads));
+            let mut a = vec![0usize; 12];
+            let mut b = vec![0usize; 6];
+            parallel_zip_chunk_map(&mut a, 4, &mut b, 2, |ci, ca, cb| {
+                for x in ca.iter_mut() {
+                    *x = ci;
+                }
+                for x in cb.iter_mut() {
+                    *x = ci * 10;
+                }
+            });
+            assert_eq!(a, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+            assert_eq!(b, vec![0, 0, 10, 10, 20, 20]);
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn nested_calls_run_serial() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(4));
+        let mut outer = vec![0usize; 4];
+        parallel_chunk_map(&mut outer, 1, |_ci, chunk| {
+            // Inside a worker the helpers must report a single thread.
+            if max_threads() == 1 {
+                chunk[0] = parallel_map(3, |i| i).iter().sum::<usize>();
+            }
+        });
+        // With >1 outer chunks every worker saw the nesting guard.
+        assert_eq!(outer, vec![3, 3, 3, 3]);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn override_and_env_priority() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(3));
+        assert_eq!(max_threads(), 3);
+        set_thread_override(None);
+        assert!(max_threads() >= 1);
+    }
+}

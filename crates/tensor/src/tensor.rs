@@ -283,6 +283,16 @@ impl Tensor {
 
     /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
+    /// All three GEMM variants (`matmul`, [`Tensor::matmul_nt`],
+    /// [`Tensor::matmul_tn`]) funnel into one cache-blocked, row-parallel
+    /// kernel and share the **zero-skip contract**: an exactly-zero entry
+    /// of the *left* operand contributes nothing to the output, even when
+    /// the corresponding right-operand values are `NaN` or `Inf`. This
+    /// mirrors the accelerator's block-skip datapath (pruned weight
+    /// blocks are never multiplied) and makes pruned rows proportionally
+    /// cheaper on CPU too. Right-operand zeros are *not* skipped, so
+    /// `NaN` in the left operand still propagates.
+    ///
     /// # Panics
     ///
     /// Panics unless both operands are rank-2 with compatible inner
@@ -293,76 +303,43 @@ impl Tensor {
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(Shape::d2(m, n), out)
+        gemm_zero_skip(&self.data, m, k, &other.data, n)
     }
 
     /// `A * B^T` for rank-2 tensors: `[m, k] x [n, k] -> [m, n]`.
     ///
-    /// Equivalent to `self.matmul(&other.transpose2())` without
-    /// materialising the transpose; used by convolution backward passes.
+    /// Used by convolution backward passes. `B^T` is materialised once
+    /// (`O(kn)`, negligible next to the `O(mkn)` product) so the inner
+    /// kernel — and therefore the zero-skip contract, see
+    /// [`Tensor::matmul`] — is byte-for-byte the same as `matmul`'s.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.rank(), 2, "matmul_nt lhs must be rank-2");
         assert_eq!(other.shape.rank(), 2, "matmul_nt rhs must be rank-2");
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let (n, k2) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
-        }
-        Tensor::from_vec(Shape::d2(m, n), out)
+        let bt = other.transpose2();
+        gemm_zero_skip(&self.data, m, k, bt.data(), n)
     }
 
     /// `A^T * B` for rank-2 tensors: `[k, m] x [k, n] -> [m, n]`.
     ///
-    /// Equivalent to `self.transpose2().matmul(other)` without
-    /// materialising the transpose.
+    /// `A^T` is materialised once so the inner kernel — and therefore the
+    /// zero-skip contract, see [`Tensor::matmul`] — is byte-for-byte the
+    /// same as `matmul`'s (the skipped zeros are still the *left*
+    /// operand's entries).
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.rank(), 2, "matmul_tn lhs must be rank-2");
         assert_eq!(other.shape.rank(), 2, "matmul_tn rhs must be rank-2");
         let (k, m) = (self.shape.dim(0), self.shape.dim(1));
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul_tn inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(Shape::d2(m, n), out)
+        let at = self.transpose2();
+        gemm_zero_skip(at.data(), m, k, &other.data, n)
     }
 
     /// Transpose of a rank-2 tensor.
+    #[allow(clippy::needless_range_loop)]
     pub fn transpose2(&self) -> Tensor {
         assert_eq!(self.shape.rank(), 2, "transpose2 requires rank-2");
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
@@ -374,6 +351,65 @@ impl Tensor {
         }
         Tensor::from_vec(Shape::d2(n, m), out)
     }
+}
+
+/// Column-block width for the shared GEMM kernel. 256 f32 columns of the
+/// output row plus the matching right-operand row segment fit comfortably
+/// in L1, so the `p`-loop re-reads hot lines instead of streaming DRAM.
+const GEMM_COL_BLOCK: usize = 256;
+
+/// Row count below which the kernel stays serial: spawning scoped threads
+/// costs more than the multiply itself for tiny products.
+const GEMM_PARALLEL_MIN_ROWS: usize = 8;
+
+/// Shared kernel behind all three `matmul*` variants:
+/// `[m, k] (row-major a) x [k, n] (row-major b) -> [m, n]`.
+///
+/// Loop order is `i / jb / p / j` (row, column block, inner dim, column):
+/// each output row is produced by one thread, accumulating rank-1 updates
+/// a column block at a time. The zero-skip branch `a[i*k + p] == 0.0`
+/// hoists the *left* operand scalar out of the innermost loop, so a
+/// pruned (exactly-zero) left entry never touches the right operand —
+/// the CPU analogue of the FPGA's block-skip datapath, and the reason
+/// NaN/Inf on the right of a zero cannot leak into the output.
+///
+/// Rows are distributed with [`crate::parallel::parallel_chunk_map`];
+/// every row's arithmetic is identical regardless of thread count, so
+/// results are bitwise-reproducible across `P3D_THREADS` settings.
+fn gemm_zero_skip(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Tensor {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return Tensor::from_vec(Shape::d2(m, n), out);
+    }
+
+    let row_kernel = |i: usize, o_row: &mut [f32]| {
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut jb = 0;
+        while jb < n {
+            let je = (jb + GEMM_COL_BLOCK).min(n);
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // zero-skip: pruned left entry, block never multiplied
+                }
+                let b_seg = &b[p * n + jb..p * n + je];
+                for (o, &bv) in o_row[jb..je].iter_mut().zip(b_seg) {
+                    *o += av * bv;
+                }
+            }
+            jb = je;
+        }
+    };
+
+    if m >= GEMM_PARALLEL_MIN_ROWS {
+        crate::parallel::parallel_chunk_map(&mut out, n, row_kernel);
+    } else {
+        for (i, o_row) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, o_row);
+        }
+    }
+    Tensor::from_vec(Shape::d2(m, n), out)
 }
 
 impl fmt::Debug for Tensor {
@@ -522,6 +558,63 @@ mod tests {
         let reference = a.matmul(&b);
         assert!(a.matmul_nt(&b.transpose2()).allclose(&reference, 1e-5));
         assert!(a.transpose2().matmul_tn(&b).allclose(&reference, 1e-5));
+    }
+
+    #[test]
+    fn zero_skip_contract_agrees_across_variants() {
+        // Regression: `matmul_nt` used to lack the zero-skip fast path,
+        // so a NaN in the right operand opposite an exactly-zero left
+        // entry poisoned `matmul_nt` outputs but not `matmul`'s. All
+        // three variants now share one kernel; poison the right operand
+        // everywhere the left operand is zero and demand agreement.
+        let a = Tensor::from_vec(
+            [3, 4],
+            vec![0., 2., 0., -1., 5., 0., 0., 3., 0., 0., 0., 0.],
+        );
+        // b[p][j] = NaN wherever *every* row of `a` has a zero in column
+        // p — those rows of b are provably never read.
+        let mut b_rows = vec![vec![1.0f32, -2.0, 0.5]; 4];
+        // a[:, 2] is all zero -> b row 2 can be fully poisoned.
+        b_rows[2] = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let b = Tensor::from_vec([4, 3], b_rows.concat());
+
+        let reference = Tensor::from_vec(
+            [3, 3],
+            vec![
+                2. * 1. - 1. * 1.,
+                2. * -2. - 1. * -2.,
+                2. * 0.5 - 1. * 0.5,
+                5. * 1. + 3. * 1.,
+                5. * -2. + 3. * -2.,
+                5. * 0.5 + 3. * 0.5,
+                0.,
+                0.,
+                0.,
+            ],
+        );
+
+        let via_nn = a.matmul(&b);
+        let via_nt = a.matmul_nt(&b.transpose2());
+        let via_tn = a.transpose2().matmul_tn(&b);
+        for (name, out) in [("nn", &via_nn), ("nt", &via_nt), ("tn", &via_tn)] {
+            assert!(
+                out.data().iter().all(|x| x.is_finite()),
+                "matmul_{name} leaked NaN/Inf past a left-operand zero: {out:?}"
+            );
+            assert!(
+                out.allclose(&reference, 1e-5),
+                "matmul_{name} disagrees with reference: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_skip_does_not_skip_right_zeros() {
+        // The contract is asymmetric: a NaN in the *left* operand must
+        // still propagate even when the right operand is zero.
+        let a = Tensor::from_vec([1, 2], vec![f32::NAN, 1.0]);
+        let b = Tensor::from_vec([2, 1], vec![0.0, 1.0]);
+        assert!(a.matmul(&b).data()[0].is_nan());
     }
 
     #[test]

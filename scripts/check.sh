@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Local CI gate: everything a merge must pass, in the order that fails
+# fastest. Run from the repository root:
+#
+#   sh scripts/check.sh
+#
+# The clippy step treats every warning as an error across the whole
+# workspace (stub crates in third_party/ included); the bench smoke run
+# (tiny shapes) is part of the p3d-bench unit tests, so `cargo test`
+# already exercises the JSON-emitting benchmark path.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -1,0 +1,152 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the subset of the `bytes` crate used by the
+//! workspace: an immutable byte buffer ([`Bytes`]), a growable builder
+//! ([`BytesMut`]), and the [`BufMut`] write trait.
+//!
+//! Backed by `Arc<[u8]>` / `Vec<u8>`; cheap clones of frozen buffers, no
+//! unsafe. See `third_party/README.md`.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({:?})", &self.data)
+    }
+}
+
+/// Sink for sequentially written bytes.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_freeze() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u8(1);
+        b.put_slice(&[2, 3]);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 2, 3]);
+        assert_eq!(frozen.len(), 3);
+        let clone = frozen.clone();
+        assert_eq!(clone, frozen);
+    }
+}

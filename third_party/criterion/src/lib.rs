@@ -1,0 +1,155 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the subset of `criterion` used by the workspace's
+//! benches: `Criterion`, `benchmark_group` / `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology (deliberately simple): a fixed warm-up, then timed batches
+//! until ~`measure_ms` of wall clock is spent; reports the per-iteration
+//! mean and the minimum batch average. No plots, no statistics files.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for benches that import it from
+/// criterion rather than `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warmup_iters: u32,
+    measure_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup_iters: 3,
+            measure_ms: 300,
+        }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    warmup_iters: u32,
+    measure_ms: u64,
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.warmup_iters {
+            std_black_box(f());
+        }
+        let budget = Duration::from_millis(self.measure_ms);
+        let started = Instant::now();
+        let mut total_ns = 0f64;
+        let mut iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        while started.elapsed() < budget {
+            let t0 = Instant::now();
+            std_black_box(f());
+            let ns = t0.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            iters += 1;
+            min_ns = min_ns.min(ns);
+        }
+        self.mean_ns = if iters > 0 { total_ns / iters as f64 } else { 0.0 };
+        self.min_ns = if min_ns.is_finite() { min_ns } else { 0.0 };
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    println!(
+        "bench {name:<40} {:>12.0} ns/iter (min {:>12.0} ns, {} iters)",
+        b.mean_ns, b.min_ns, b.iters
+    );
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warmup_iters: self.warmup_iters,
+            measure_ms: self.measure_ms,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            warmup_iters: 1,
+            measure_ms: 5,
+        };
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! Offline stand-in for `serde`: the `Serialize` / `Deserialize` names in
+//! both the trait and macro namespaces.
+//!
+//! The workspace only ever *derives* these traits (no serializer backend
+//! is in the offline dependency set), so the traits are empty markers and
+//! the derives expand to nothing. See `third_party/README.md`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// The derive macros share the trait names (macro namespace vs type
+// namespace), exactly like the real crate with the `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

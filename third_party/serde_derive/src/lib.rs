@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace derives these traits on its data types for forward
+//! compatibility, but never invokes an actual serializer backend
+//! (`serde_json` & co. are not in the offline dependency set), so the
+//! derives can safely expand to nothing. The `serde` helper attribute is
+//! declared so `#[serde(...)]` annotations, if ever added, still parse.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
