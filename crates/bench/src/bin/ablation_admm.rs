@@ -5,10 +5,14 @@
 //! baseline at equal sparsity and compares accuracy before and after
 //! masked retraining.
 //!
-//! Set `P3D_QUICK=1` for a fast smoke run.
+//! Set `P3D_QUICK=1` for a fast smoke run. `--save-every N` plus
+//! `--resume` checkpoint/restore the baseline and ADMM training phases
+//! crash-safely (see the `accuracy` binary for the full flag set).
 
+use p3d_bench::resume_cli::{run_baseline_phase, ResumeOpts};
 use p3d_core::{
-    magnitude_block_prune, targets_for_stages, AdmmConfig, AdmmPruner, BlockShape, KeepRule,
+    capture_admm_train_state, magnitude_block_prune, restore_admm_train_state, targets_for_stages,
+    AdmmConfig, AdmmProgress, AdmmPruner, BlockShape, KeepRule,
 };
 use p3d_models::{build_network, r2plus1d_lite};
 use p3d_nn::{CrossEntropyLoss, Layer, LrSchedule, Sgd, Trainer};
@@ -16,6 +20,7 @@ use p3d_video_data::{GeneratorConfig, SyntheticVideo};
 use std::collections::BTreeMap;
 
 fn main() {
+    let opts = ResumeOpts::from_args();
     let quick = std::env::var("P3D_QUICK").is_ok();
     let (clips, base_epochs, retrain_epochs) = if quick { (60, 5, 3) } else { (300, 30, 10) };
     let admm_cfg = if quick {
@@ -45,9 +50,15 @@ fn main() {
     // Shared trained baseline.
     let mut baseline = build_network(&spec, 1);
     let mut trainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(1e-2, 0.9, 1e-4), 16, 7);
-    for _ in 0..base_epochs {
-        trainer.train_epoch(&mut baseline, &train, None);
-    }
+    run_baseline_phase(
+        &opts,
+        "ablation_admm_baseline",
+        &mut baseline,
+        &mut trainer,
+        &train,
+        base_epochs,
+        |_, _| {},
+    );
     let acc_base = trainer.evaluate(&mut baseline, &test);
     println!("baseline accuracy: {acc_base:.4}\n");
 
@@ -92,7 +103,25 @@ fn main() {
         11,
     );
     let mut pruner = AdmmPruner::new(&mut admm_net, shape, &targets, admm_cfg);
-    pruner.admm_train(&mut admm_net, &mut admm_trainer, &train);
+    let mut start = AdmmProgress::start();
+    if let Some(st) = opts.load("ablation_admm_admm") {
+        start = restore_admm_train_state(&st, &mut admm_net, &mut admm_trainer, &mut pruner)
+            .expect("cannot resume ADMM phase");
+        eprintln!(
+            "[resume] ADMM at round {}, epoch {}",
+            start.round, start.epoch
+        );
+    }
+    pruner.admm_train_from(&mut admm_net, &mut admm_trainer, &train, start, &mut |t| {
+        if opts.save_every > 0 && t.progress.epoch % opts.save_every == 0 {
+            let st = capture_admm_train_state(t.network, t.trainer, t.pruner, t.progress);
+            if let Err(e) = opts.save_now("ablation_admm_admm", &st) {
+                eprintln!("warning: cannot save ADMM state: {e}");
+            }
+        }
+        true
+    });
+    opts.clear("ablation_admm_admm");
     let _ = pruner.hard_prune(&mut admm_net);
     let admm_hard = p3d_nn::evaluate(&mut admm_net, &test, 16);
     let mut retrainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(2e-3, 0.9, 1e-4), 16, 13);

@@ -10,8 +10,18 @@
 //! substitution); the *shape* under test is the accuracy delta.
 //!
 //! Set `P3D_QUICK=1` for a fast smoke run.
+//!
+//! Crash-safety: `--save-every N` checkpoints the full training state
+//! (weights, optimiser velocity, RNG streams, ADMM duals, LR-schedule
+//! position) every `N` epochs into `--state-dir` (default `p3d-state/`),
+//! and `--resume` continues a killed run bitwise-identically.
 
-use p3d_core::{targets_for_stages, AdmmConfig, AdmmPruner, BlockShape, KeepRule};
+use p3d_bench::resume_cli::{run_baseline_phase, ResumeOpts};
+use p3d_core::{
+    capture_admm_train_state, capture_retrain_state, restore_admm_train_state,
+    restore_retrain_state, targets_for_stages, AdmmConfig, AdmmProgress, AdmmPruner, BlockShape,
+    KeepRule, PrunedModel,
+};
 use p3d_models::{build_network, r2plus1d_lite_wide};
 use p3d_nn::{CrossEntropyLoss, Layer, LrSchedule, Sgd, Trainer};
 use p3d_video_data::{GeneratorConfig, SyntheticVideo};
@@ -63,6 +73,7 @@ fn scale() -> Scale {
 
 fn main() {
     let s = scale();
+    let opts = ResumeOpts::from_args();
     let t0 = Instant::now();
     let spec = r2plus1d_lite_wide(10);
     let mut cfg = GeneratorConfig::standard();
@@ -78,18 +89,25 @@ fn main() {
         16,
         7,
     );
-    for e in 0..s.baseline_epochs {
-        let st = trainer.train_epoch(&mut net, &train, None);
-        if (e + 1) % 5 == 0 || e + 1 == s.baseline_epochs {
-            println!(
-                "[{:>4.0}s] baseline epoch {:>2}: loss {:.3}, train acc {:.3}",
-                t0.elapsed().as_secs_f32(),
-                e + 1,
-                st.loss,
-                st.accuracy
-            );
-        }
-    }
+    run_baseline_phase(
+        &opts,
+        "accuracy_baseline",
+        &mut net,
+        &mut trainer,
+        &train,
+        s.baseline_epochs,
+        |e, st| {
+            if (e + 1) % 5 == 0 || e + 1 == s.baseline_epochs {
+                println!(
+                    "[{:>4.0}s] baseline epoch {:>2}: loss {:.3}, train acc {:.3}",
+                    t0.elapsed().as_secs_f32(),
+                    e + 1,
+                    st.loss,
+                    st.accuracy
+                );
+            }
+        },
+    );
     let acc_unpruned = trainer.evaluate(&mut net, &test);
     println!("\nunpruned test accuracy: {:.4}\n", acc_unpruned);
 
@@ -124,21 +142,9 @@ fn main() {
             11,
         );
         let mut pruner = AdmmPruner::new(&mut pruned_net, shape, &targets, s.admm.clone());
-        let log = pruner.admm_train(&mut pruned_net, &mut admm_trainer, &train);
-        for r in &log.rounds {
-            println!(
-                "[{:>4.0}s] (Tm,Tn)=({},{}) ADMM rho={:.0e}: last loss {:.3}, residual {:.3}",
-                t0.elapsed().as_secs_f32(),
-                shape.tm,
-                shape.tn,
-                r.rho,
-                r.losses.last().unwrap_or(&f32::NAN),
-                r.max_primal_residual
-            );
-        }
-        let pruned_model = pruner.hard_prune(&mut pruned_net);
-        let acc_hard = p3d_nn::evaluate(&mut pruned_net, &test, 16);
 
+        let tag_admm = format!("accuracy_admm_{}x{}", shape.tm, shape.tn);
+        let tag_retrain = format!("accuracy_retrain_{}x{}", shape.tm, shape.tn);
         let schedule = LrSchedule::WarmupCosine {
             base_lr: 5e-3,
             warmup_epochs: 2,
@@ -151,8 +157,105 @@ fn main() {
             16,
             13,
         );
-        AdmmPruner::retrain(&mut pruned_net, &mut retrainer, &train, &schedule, s.retrain_epochs);
+
+        // A saved retrain-phase state means ADMM + hard pruning already
+        // happened; jump straight back into masked retraining.
+        let (pruned_model, acc_hard, start_epoch) = if let Some(st) = opts.load(&tag_retrain) {
+            let (_saved_sched, done) = restore_retrain_state(&st, &mut pruned_net, &mut retrainer)
+                .expect("cannot resume retraining phase");
+            let acc_hard = st
+                .get("progress.acc_hard")
+                .map(|t| t.data()[0])
+                .unwrap_or(f32::NAN);
+            eprintln!(
+                "[resume] ({},{}) masked retraining after epoch {done}",
+                shape.tm, shape.tn
+            );
+            (pruner.pruned_model_from_masks(&mut pruned_net), acc_hard, done)
+        } else {
+            let mut start = AdmmProgress::start();
+            if let Some(st) = opts.load(&tag_admm) {
+                start =
+                    restore_admm_train_state(&st, &mut pruned_net, &mut admm_trainer, &mut pruner)
+                        .expect("cannot resume ADMM phase");
+                eprintln!(
+                    "[resume] ({},{}) ADMM at round {}, epoch {}",
+                    shape.tm, shape.tn, start.round, start.epoch
+                );
+            }
+            let log = pruner.admm_train_from(
+                &mut pruned_net,
+                &mut admm_trainer,
+                &train,
+                start,
+                &mut |t| {
+                    if opts.save_every > 0 && t.progress.epoch % opts.save_every == 0 {
+                        let st =
+                            capture_admm_train_state(t.network, t.trainer, t.pruner, t.progress);
+                        if let Err(e) = opts.save_now(&tag_admm, &st) {
+                            eprintln!("warning: cannot save ADMM state: {e}");
+                        }
+                    }
+                    true
+                },
+            );
+            for r in &log.rounds {
+                println!(
+                    "[{:>4.0}s] (Tm,Tn)=({},{}) ADMM rho={:.0e}: last loss {:.3}, residual {:.3}",
+                    t0.elapsed().as_secs_f32(),
+                    shape.tm,
+                    shape.tn,
+                    r.rho,
+                    r.losses.last().unwrap_or(&f32::NAN),
+                    r.max_primal_residual
+                );
+            }
+            let pruned_model: PrunedModel = pruner.hard_prune(&mut pruned_net);
+            let acc_hard = p3d_nn::evaluate(&mut pruned_net, &test, 16);
+            (pruned_model, acc_hard, 0usize)
+        };
+
+        AdmmPruner::retrain_from(
+            &mut pruned_net,
+            &mut retrainer,
+            &train,
+            &schedule,
+            s.retrain_epochs,
+            start_epoch,
+            &mut |t| {
+                if opts.save_every > 0 && (t.epoch + 1) % opts.save_every == 0 {
+                    let mut st = capture_retrain_state(t.network, t.trainer, &schedule, t.epoch + 1);
+                    st.insert(
+                        "progress.acc_hard",
+                        p3d_tensor::Tensor::from_vec([1], vec![acc_hard]),
+                    );
+                    if let Err(e) = opts.save_now(&tag_retrain, &st) {
+                        eprintln!("warning: cannot save retrain state: {e}");
+                    }
+                }
+                true
+            },
+        );
         let acc_final = p3d_nn::evaluate(&mut pruned_net, &test, 16);
+        // This shape is done: leave a final retrain state behind (so a
+        // crash in a later shape resumes past this one instantly) and
+        // drop the now-redundant ADMM state.
+        if opts.save_every > 0 {
+            let mut st = capture_retrain_state(
+                &mut pruned_net,
+                &retrainer,
+                &schedule,
+                s.retrain_epochs,
+            );
+            st.insert(
+                "progress.acc_hard",
+                p3d_tensor::Tensor::from_vec([1], vec![acc_hard]),
+            );
+            if let Err(e) = opts.save_now(&tag_retrain, &st) {
+                eprintln!("warning: cannot save final state: {e}");
+            }
+        }
+        opts.clear(&tag_admm);
         assert!(
             pruner.verify_sparsity(&mut pruned_net),
             "sparsity constraint violated after retraining"

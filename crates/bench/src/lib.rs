@@ -12,10 +12,14 @@
 
 pub mod masks;
 pub mod published;
+pub mod resume_cli;
 pub mod table;
 pub mod throughput;
 
 pub use masks::{paper_pruned_model, uniform_mask};
+pub use resume_cli::{
+    capture_baseline, restore_baseline, run_baseline_phase, ResumeOpts, BASELINE_PROGRESS_KEY,
+};
 pub use published::{PublishedRow, TABLE4_ROWS};
 pub use table::TableWriter;
 pub use throughput::{run_conv3d_throughput, Conv3dBenchConfig, Conv3dBenchReport};

@@ -7,9 +7,14 @@
 //! `rho * (W - Z + V)`; the Z-minimisation step (Eq. 13) is the
 //! Euclidean projection; the dual update is `V <- V + W - Z` (Eq. 9).
 
-use crate::blocks::BlockGrid;
+use crate::blocks::{BlockGrid, BlockShape};
 use crate::projection::{project_inplace, KeepRule, ProjectionResult};
+use p3d_nn::train_state::{pack_u64s, unpack_u64s};
 use p3d_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Sentinel stored in the meta record when no projection has run yet.
+const NO_PROJECTION: u64 = u64::MAX;
 
 /// ADMM hyper-parameters (Algorithm 1).
 #[derive(Clone, Debug)]
@@ -148,6 +153,107 @@ impl AdmmLayerState {
         self.v.scale(rho_old / rho_new);
     }
 
+    /// Exports the state into named tensors under `prefix` for storage in
+    /// a training-state checkpoint:
+    ///
+    /// * `{prefix}.z` / `{prefix}.v` — the ADMM variables (weight-shaped),
+    /// * `{prefix}.meta` — exact scalars bit-packed as `u64` lanes:
+    ///   `[eta_bits, tm, tn, m, n, kernel_volume, kept_blocks,
+    ///   threshold_sq_bits]` (`kept_blocks = u64::MAX` when no projection
+    ///   has run),
+    /// * `{prefix}.keep` — the last projection's 0/1 keep flags (only
+    ///   when a projection has run).
+    ///
+    /// `eta` and `threshold_sq` are `f64`s stored via `to_bits`, so the
+    /// round-trip is lossless.
+    pub fn to_tensors(&self, prefix: &str, out: &mut BTreeMap<String, Tensor>) {
+        out.insert(format!("{prefix}.z"), self.z.clone());
+        out.insert(format!("{prefix}.v"), self.v.clone());
+        let (kept, threshold_bits) = match &self.last_projection {
+            Some(p) => (p.kept_blocks as u64, p.threshold_sq.to_bits()),
+            None => (NO_PROJECTION, 0u64),
+        };
+        out.insert(
+            format!("{prefix}.meta"),
+            pack_u64s(&[
+                self.eta.to_bits(),
+                self.grid.shape.tm as u64,
+                self.grid.shape.tn as u64,
+                self.grid.m as u64,
+                self.grid.n as u64,
+                self.grid.kernel_volume as u64,
+                kept,
+                threshold_bits,
+            ]),
+        );
+        if let Some(p) = &self.last_projection {
+            let flags: Vec<f32> = p.keep.iter().map(|&k| if k { 1.0 } else { 0.0 }).collect();
+            out.insert(
+                format!("{prefix}.keep"),
+                Tensor::from_vec([flags.len()], flags),
+            );
+        }
+    }
+
+    /// Reconstructs a state exported by [`AdmmLayerState::to_tensors`].
+    ///
+    /// Returns `None` when any record is missing or malformed (wrong
+    /// lane count, degenerate grid, eta outside `[0, 1)`, `Z`/`V` shape
+    /// disagreement, or keep flags of the wrong length) — never panics
+    /// on untrusted input.
+    pub fn from_tensors(prefix: &str, tensors: &BTreeMap<String, Tensor>) -> Option<AdmmLayerState> {
+        let meta = unpack_u64s(tensors.get(&format!("{prefix}.meta"))?)?;
+        if meta.len() != 8 {
+            return None;
+        }
+        let eta = f64::from_bits(meta[0]);
+        if !(eta.is_finite() && (0.0..1.0).contains(&eta)) {
+            return None;
+        }
+        let as_dim = |x: u64| -> Option<usize> {
+            (1..=(1u64 << 32)).contains(&x).then_some(x as usize)
+        };
+        let (tm, tn) = (as_dim(meta[1])?, as_dim(meta[2])?);
+        let (m, n, kernel_volume) = (as_dim(meta[3])?, as_dim(meta[4])?, as_dim(meta[5])?);
+        let grid = BlockGrid::new(m, n, kernel_volume, BlockShape::new(tm, tn));
+        let z = tensors.get(&format!("{prefix}.z"))?;
+        let v = tensors.get(&format!("{prefix}.v"))?;
+        let zs = z.shape();
+        let shape_ok = zs == v.shape()
+            && zs.rank() == 5
+            && zs.dim(0) == m
+            && zs.dim(1) == n
+            && zs.dim(2) * zs.dim(3) * zs.dim(4) == kernel_volume;
+        if !shape_ok {
+            return None;
+        }
+        let last_projection = if meta[6] == NO_PROJECTION {
+            None
+        } else {
+            let flags = tensors.get(&format!("{prefix}.keep"))?;
+            if flags.data().len() != grid.num_blocks() {
+                return None;
+            }
+            let keep: Vec<bool> = flags.data().iter().map(|&f| f != 0.0).collect();
+            let kept_blocks = as_dim(meta[6])?;
+            if keep.iter().filter(|&&k| k).count() != kept_blocks {
+                return None;
+            }
+            Some(ProjectionResult {
+                keep,
+                threshold_sq: f64::from_bits(meta[7]),
+                kept_blocks,
+            })
+        };
+        Some(AdmmLayerState {
+            grid,
+            eta,
+            z: z.clone(),
+            v: v.clone(),
+            last_projection,
+        })
+    }
+
     /// Primal residual `||W - Z||_F` relative to `||W||_F` (Eq. 10).
     pub fn primal_residual(&self, weight: &Tensor) -> f32 {
         let num = (weight - &self.z).frobenius_norm();
@@ -261,6 +367,56 @@ mod tests {
             u
         };
         assert!(u_after.allclose(&u_before, 1e-6));
+    }
+
+    #[test]
+    fn layer_state_tensor_roundtrip_is_exact() {
+        let (w, grid) = demo_weight(7);
+        let mut st = AdmmLayerState::init(&w, grid, 0.5, KeepRule::Round);
+        st.update(&w, KeepRule::Round); // nonzero V, fresh projection
+        let mut map = BTreeMap::new();
+        st.to_tensors("admm.layer", &mut map);
+        let back = AdmmLayerState::from_tensors("admm.layer", &map).expect("roundtrip");
+        assert_eq!(back.grid, st.grid);
+        assert_eq!(back.eta.to_bits(), st.eta.to_bits());
+        assert_eq!(back.z.data(), st.z.data());
+        assert_eq!(back.v.data(), st.v.data());
+        let (a, b) = (
+            back.last_projection.as_ref().unwrap(),
+            st.last_projection.as_ref().unwrap(),
+        );
+        assert_eq!(a.keep, b.keep);
+        assert_eq!(a.kept_blocks, b.kept_blocks);
+        assert_eq!(a.threshold_sq.to_bits(), b.threshold_sq.to_bits());
+    }
+
+    #[test]
+    fn layer_state_from_tensors_rejects_malformed() {
+        let (w, grid) = demo_weight(8);
+        let st = AdmmLayerState::init(&w, grid, 0.5, KeepRule::Round);
+        let mut map = BTreeMap::new();
+        st.to_tensors("a", &mut map);
+
+        // Missing records.
+        assert!(AdmmLayerState::from_tensors("other", &map).is_none());
+        let mut no_z = map.clone();
+        no_z.remove("a.z");
+        assert!(AdmmLayerState::from_tensors("a", &no_z).is_none());
+
+        // Shape disagreement between Z and V.
+        let mut bad_v = map.clone();
+        bad_v.insert("a.v".into(), Tensor::zeros([2, 2, 1, 3, 3]));
+        assert!(AdmmLayerState::from_tensors("a", &bad_v).is_none());
+
+        // Corrupt meta: zero grid dimension must not panic BlockGrid::new.
+        let mut bad_meta = map.clone();
+        bad_meta.insert("a.meta".into(), pack_u64s(&[0.5f64.to_bits(), 0, 2, 4, 4, 9, 2, 0]));
+        assert!(AdmmLayerState::from_tensors("a", &bad_meta).is_none());
+
+        // Keep flags inconsistent with the kept-block count.
+        let mut bad_keep = map.clone();
+        bad_keep.insert("a.keep".into(), Tensor::zeros([4]));
+        assert!(AdmmLayerState::from_tensors("a", &bad_keep).is_none());
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod mask_export;
 pub mod projection;
 pub mod pruner;
 pub mod report;
+pub mod resume;
 
 pub use admm::{AdmmConfig, AdmmLayerState};
 pub use blocks::{BlockGrid, BlockShape};
@@ -54,5 +55,12 @@ pub use magnitude::{
 };
 pub use mask_export::{LayerBlockMask, PrunedModel};
 pub use projection::{project, project_inplace, satisfies_sparsity, select_blocks, KeepRule, ProjectionResult};
-pub use pruner::{targets_for_stages, AdmmPruner, PruneLog, PruneTarget, RoundLog};
+pub use pruner::{
+    targets_for_stages, AdmmProgress, AdmmPruner, AdmmTick, PruneLog, PruneTarget, RetrainTick,
+    RoundLog,
+};
 pub use report::{PruningReport, StageRow};
+pub use resume::{
+    capture_admm_train_state, capture_retrain_state, restore_admm_train_state,
+    restore_retrain_state, ADMM_PROGRESS_KEY, RETRAIN_PROGRESS_KEY,
+};

@@ -14,10 +14,11 @@ use crate::admm::{AdmmConfig, AdmmLayerState};
 use crate::blocks::{BlockGrid, BlockShape};
 use crate::mask_export::{LayerBlockMask, PrunedModel};
 use crate::projection::select_blocks;
-use p3d_nn::{Dataset, Layer, LrSchedule, Trainer};
+use p3d_nn::{Dataset, EpochStats, Layer, LrSchedule, Trainer};
 use p3d_models::NetworkSpec;
 use p3d_tensor::Tensor;
 use std::collections::BTreeMap;
+use std::io;
 
 /// One layer to prune: the *spec* layer name (without `.weight`) and its
 /// pruning ratio `eta`.
@@ -67,6 +68,63 @@ pub struct PruneLog {
     pub accuracy_after_hard_prune: Option<f32>,
     /// Accuracy after masked retraining.
     pub accuracy_after_retrain: Option<f32>,
+}
+
+/// Position within the ADMM double loop of Algorithm 1, counted in
+/// *completed* work: `round` is the 0-based index into the rho schedule
+/// and `epoch` the number of finished epochs inside that round. The
+/// default (`round = 0, epoch = 0`) means "nothing done yet".
+///
+/// A checkpoint taken at progress `p` resumes at epoch `p.epoch + 1` of
+/// round `p.round`; when `p.epoch` equals `epochs_per_round` the resumed
+/// run rolls over into the next round (applying the dual rescale exactly
+/// as the uninterrupted run would have).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmmProgress {
+    /// 0-based index into the rho schedule.
+    pub round: usize,
+    /// Completed epochs within that round (0 = round not started).
+    pub epoch: usize,
+}
+
+impl AdmmProgress {
+    /// The beginning of the schedule (nothing completed).
+    pub fn start() -> Self {
+        AdmmProgress::default()
+    }
+}
+
+/// Everything a checkpointing callback needs after one ADMM epoch:
+/// the position just completed, the epoch statistics, and mutable access
+/// to the network and trainer (for state capture). Returned `false`
+/// from the callback stops the run after this epoch — the mechanism the
+/// resume tests use to simulate a crash at an arbitrary point.
+pub struct AdmmTick<'a> {
+    /// The position *just completed* (1-based epoch within the round).
+    pub progress: AdmmProgress,
+    /// The penalty parameter of the current round.
+    pub rho: f32,
+    /// Statistics of the epoch just finished.
+    pub stats: EpochStats,
+    /// The network being pruned.
+    pub network: &'a mut dyn Layer,
+    /// The trainer driving the W-step.
+    pub trainer: &'a mut Trainer,
+    /// The pruner (read-only; its Z/V state is current as of this tick).
+    pub pruner: &'a AdmmPruner,
+}
+
+/// The per-epoch callback snapshot of masked retraining; mirrors
+/// [`AdmmTick`] for the retraining phase.
+pub struct RetrainTick<'a> {
+    /// The 0-based epoch just completed.
+    pub epoch: usize,
+    /// Statistics of the epoch just finished.
+    pub stats: EpochStats,
+    /// The network being retrained.
+    pub network: &'a mut dyn Layer,
+    /// The trainer.
+    pub trainer: &'a mut Trainer,
 }
 
 /// The ADMM blockwise pruner.
@@ -144,20 +202,59 @@ impl AdmmPruner {
         trainer: &mut Trainer,
         data: &dyn Dataset,
     ) -> PruneLog {
+        self.admm_train_from(network, trainer, data, AdmmProgress::start(), &mut |_| true)
+    }
+
+    /// Runs (or resumes) the ADMM training phase from `start`, invoking
+    /// `on_tick` after every completed epoch (after the epoch's optional
+    /// Z/V update, i.e. at a consistent checkpointable state).
+    ///
+    /// Semantics chosen for bitwise-exact resume:
+    ///
+    /// * completed rounds (`ri < start.round`) are skipped entirely;
+    /// * a mid-round start resumes at `start.epoch + 1` **without**
+    ///   re-applying the dual rescale (the restored `V` already has it);
+    /// * a round entered fresh (epoch 0) applies the rescale from the
+    ///   previous round's rho, exactly as the uninterrupted run does;
+    /// * `start.epoch == epochs_per_round` rolls over to the next round.
+    ///
+    /// When `on_tick` returns `false` the run stops after the current
+    /// epoch; the partial round is still pushed onto the returned log.
+    /// A resumed run's log covers only the epochs it executed itself.
+    pub fn admm_train_from(
+        &mut self,
+        network: &mut dyn Layer,
+        trainer: &mut Trainer,
+        data: &dyn Dataset,
+        start: AdmmProgress,
+        on_tick: &mut dyn FnMut(AdmmTick<'_>) -> bool,
+    ) -> PruneLog {
         let mut log = PruneLog::default();
         let rho_schedule = self.config.rho_schedule.clone();
-        let mut prev_rho: Option<f32> = None;
-        for &rho in &rho_schedule {
-            if let Some(prev) = prev_rho {
+        let epochs_per_round = self.config.epochs_per_round;
+        let mut start = start;
+        if start.epoch >= epochs_per_round {
+            // The checkpoint closed out its round; continue with the next.
+            start.round += 1;
+            start.epoch = 0;
+        }
+        for (ri, &rho) in rho_schedule.iter().enumerate() {
+            if ri < start.round {
+                continue;
+            }
+            let first_epoch = if ri == start.round { start.epoch + 1 } else { 1 };
+            if ri > 0 && first_epoch == 1 {
                 // "Expand rho": preserve the unscaled dual across the
                 // penalty change (see AdmmLayerState::rescale_dual).
+                // Skipped on a mid-round resume — the restored dual was
+                // saved after this rescale already happened.
+                let prev = rho_schedule[ri - 1];
                 for st in self.states.values_mut() {
                     st.rescale_dual(prev, rho);
                 }
             }
-            prev_rho = Some(rho);
             let mut losses = Vec::new();
-            for epoch in 1..=self.config.epochs_per_round {
+            for epoch in first_epoch..=epochs_per_round {
                 let states = &self.states;
                 let mut hook = |p: &mut p3d_nn::Param| {
                     // Param names are "<layer>.weight"; state keys are "<layer>".
@@ -168,13 +265,30 @@ impl AdmmPruner {
                         }
                     }
                 };
-                let stats = trainer.train_epoch(network, data, Some(&mut hook));
+                let stats = trainer.train_epoch(&mut *network, data, Some(&mut hook));
                 losses.push(stats.loss);
                 if epoch % self.config.epochs_per_admm_update == 0 {
-                    self.update_duals(network);
+                    self.update_duals(&mut *network);
+                }
+                let keep_going = on_tick(AdmmTick {
+                    progress: AdmmProgress { round: ri, epoch },
+                    rho,
+                    stats,
+                    network: &mut *network,
+                    trainer: &mut *trainer,
+                    pruner: self,
+                });
+                if !keep_going {
+                    let residual = self.max_primal_residual(&mut *network);
+                    log.rounds.push(RoundLog {
+                        rho,
+                        losses,
+                        max_primal_residual: residual,
+                    });
+                    return log;
                 }
             }
-            let residual = self.max_primal_residual(network);
+            let residual = self.max_primal_residual(&mut *network);
             log.rounds.push(RoundLog {
                 rho,
                 losses,
@@ -182,6 +296,51 @@ impl AdmmPruner {
             });
         }
         log
+    }
+
+    /// Exports the per-layer ADMM state (`Z`, `V`, grids, projections)
+    /// into `out` under `admm.{layer}.*` keys for inclusion in a
+    /// training-state checkpoint.
+    pub fn export_state(&self, out: &mut BTreeMap<String, Tensor>) {
+        for (layer, st) in &self.states {
+            st.to_tensors(&format!("admm.{layer}"), out);
+        }
+    }
+
+    /// Imports state exported by [`AdmmPruner::export_state`], replacing
+    /// the freshly-initialised per-layer state, and returns the number of
+    /// layers restored.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when any targeted layer's records are missing or
+    /// malformed, or when the stored grid/eta disagree with this
+    /// pruner's configuration (resuming with a different block shape or
+    /// pruning ratio would silently change the trajectory).
+    pub fn import_state(&mut self, tensors: &BTreeMap<String, Tensor>) -> io::Result<usize> {
+        let mut restored = BTreeMap::new();
+        for (layer, current) in &self.states {
+            let prefix = format!("admm.{layer}");
+            let st = AdmmLayerState::from_tensors(&prefix, tensors).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("ADMM state for layer {layer} missing or malformed"),
+                )
+            })?;
+            if st.grid != current.grid || st.eta.to_bits() != current.eta.to_bits() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "ADMM state mismatch for layer {layer}: checkpoint grid/eta \
+                         disagree with the pruner's configuration"
+                    ),
+                ));
+            }
+            restored.insert(layer.clone(), st);
+        }
+        let n = restored.len();
+        self.states = restored;
+        Ok(n)
     }
 
     /// Z-minimisation + dual update for every targeted layer (Eqs. 13, 9).
@@ -229,6 +388,31 @@ impl AdmmPruner {
         pruned
     }
 
+    /// Rebuilds the block-enable maps from the 0/1 masks currently
+    /// installed on `network` — used when resuming a *retraining-phase*
+    /// checkpoint, where hard pruning already happened before the
+    /// interruption (re-running [`AdmmPruner::hard_prune`] would
+    /// re-project the weights and could select different blocks).
+    ///
+    /// Layers whose parameter carries no mask are skipped.
+    pub fn pruned_model_from_masks(&self, network: &mut dyn Layer) -> PrunedModel {
+        let mut pruned = PrunedModel {
+            block_shape: Some(self.block_shape),
+            layers: BTreeMap::new(),
+        };
+        let states = &self.states;
+        network.visit_params(&mut |p| {
+            let Some(layer) = p.name.strip_suffix(".weight").map(str::to_string) else {
+                return;
+            };
+            let Some(st) = states.get(&layer) else { return };
+            if let Some(mask) = &p.mask {
+                pruned.insert(layer, crate::magnitude::block_enable_from_mask(mask, &st.grid));
+            }
+        });
+        pruned
+    }
+
     /// Masked retraining with the paper's warmup + cosine schedule. The
     /// masks installed by [`AdmmPruner::hard_prune`] keep pruned weights
     /// at zero.
@@ -239,11 +423,39 @@ impl AdmmPruner {
         schedule: &LrSchedule,
         epochs: usize,
     ) -> Vec<f32> {
-        let mut losses = Vec::with_capacity(epochs);
-        for epoch in 0..epochs {
+        Self::retrain_from(network, trainer, data, schedule, epochs, 0, &mut |_| true)
+    }
+
+    /// Masked retraining resumed at `start_epoch` (the number of epochs
+    /// already completed), invoking `on_tick` after every epoch. The
+    /// learning rate is always taken from `schedule.lr_at(epoch)`, so a
+    /// resumed run lands on the same point of the warmup+cosine curve as
+    /// the uninterrupted run. Returning `false` from the callback stops
+    /// the run after the current epoch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn retrain_from(
+        network: &mut dyn Layer,
+        trainer: &mut Trainer,
+        data: &dyn Dataset,
+        schedule: &LrSchedule,
+        epochs: usize,
+        start_epoch: usize,
+        on_tick: &mut dyn FnMut(RetrainTick<'_>) -> bool,
+    ) -> Vec<f32> {
+        let mut losses = Vec::with_capacity(epochs.saturating_sub(start_epoch));
+        for epoch in start_epoch..epochs {
             trainer.optimizer.set_lr(schedule.lr_at(epoch).max(1e-8));
-            let stats = trainer.train_epoch(network, data, None);
+            let stats = trainer.train_epoch(&mut *network, data, None);
             losses.push(stats.loss);
+            let keep_going = on_tick(RetrainTick {
+                epoch,
+                stats,
+                network: &mut *network,
+                trainer: &mut *trainer,
+            });
+            if !keep_going {
+                break;
+            }
         }
         losses
     }

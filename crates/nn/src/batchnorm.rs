@@ -227,13 +227,11 @@ impl Layer for BatchNorm3d {
         f(&format!("{}.running_var", self.name), &self.running_var);
     }
 
-    fn import_state(&mut self, get: &mut dyn FnMut(&str) -> Option<Tensor>) {
-        if let Some(rm) = get(&format!("{}.running_mean", self.name)) {
-            assert_eq!(rm.shape(), self.running_mean.shape(), "running_mean shape");
+    fn import_state(&mut self, get: &mut dyn FnMut(&str, &p3d_tensor::Shape) -> Option<Tensor>) {
+        if let Some(rm) = get(&format!("{}.running_mean", self.name), &self.running_mean.shape()) {
             self.running_mean = rm;
         }
-        if let Some(rv) = get(&format!("{}.running_var", self.name)) {
-            assert_eq!(rv.shape(), self.running_var.shape(), "running_var shape");
+        if let Some(rv) = get(&format!("{}.running_var", self.name), &self.running_var.shape()) {
             self.running_var = rv;
         }
     }

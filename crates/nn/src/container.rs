@@ -71,7 +71,7 @@ impl Layer for Sequential {
         }
     }
 
-    fn import_state(&mut self, get: &mut dyn FnMut(&str) -> Option<Tensor>) {
+    fn import_state(&mut self, get: &mut dyn FnMut(&str, &p3d_tensor::Shape) -> Option<Tensor>) {
         for layer in &mut self.layers {
             layer.import_state(get);
         }
@@ -174,7 +174,7 @@ impl Layer for ResidualBlock {
         }
     }
 
-    fn import_state(&mut self, get: &mut dyn FnMut(&str) -> Option<Tensor>) {
+    fn import_state(&mut self, get: &mut dyn FnMut(&str, &p3d_tensor::Shape) -> Option<Tensor>) {
         self.main.import_state(get);
         if let Some(s) = &mut self.shortcut {
             s.import_state(get);

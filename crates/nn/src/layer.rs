@@ -145,12 +145,14 @@ pub trait Layer {
 
     /// Imports non-parameter state previously produced by
     /// [`Layer::export_state`]: each stateful layer asks `get` for its
-    /// keys and installs whatever is found. The default imports nothing.
-    ///
-    /// # Panics
-    ///
-    /// Implementations panic if a returned tensor has the wrong shape.
-    fn import_state(&mut self, _get: &mut dyn FnMut(&str) -> Option<Tensor>) {}
+    /// keys — passing the shape it expects, so the provider can refuse
+    /// (and report, rather than panic on) a mismatched tensor — and
+    /// installs whatever is returned. The default imports nothing.
+    fn import_state(
+        &mut self,
+        _get: &mut dyn FnMut(&str, &p3d_tensor::Shape) -> Option<Tensor>,
+    ) {
+    }
 
     /// A short human-readable description, e.g. `"conv3d(16->32, 1x3x3)"`.
     fn describe(&self) -> String;

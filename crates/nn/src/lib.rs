@@ -52,11 +52,12 @@ pub mod metrics;
 pub mod optim;
 pub mod pool;
 pub mod schedule;
+pub mod train_state;
 pub mod trainer;
 
 pub use activation::Relu;
 pub use batchnorm::BatchNorm3d;
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, RestoreReport};
 pub use container::{ResidualBlock, Sequential};
 pub use conv3d::Conv3d;
 pub use layer::{Layer, LayerExt, Mode, Param, ParamKind};
@@ -65,4 +66,5 @@ pub use loss::CrossEntropyLoss;
 pub use optim::Sgd;
 pub use pool::{GlobalAvgPool, MaxPool3d};
 pub use schedule::LrSchedule;
-pub use trainer::{evaluate, stack_clips, Dataset, EpochStats, Trainer};
+pub use train_state::{pack_u64s, unpack_u64s, TrainState};
+pub use trainer::{evaluate, stack_clips, Dataset, EpochStats, ToyDataset, Trainer};

@@ -3,7 +3,8 @@
 
 use crate::layer::{Layer, Param};
 use p3d_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::io;
 
 /// Stochastic gradient descent with momentum and L2 weight decay.
 ///
@@ -53,6 +54,78 @@ impl Sgd {
     pub fn set_lr(&mut self, lr: f32) {
         assert!(lr > 0.0, "learning rate must be positive");
         self.lr = lr;
+    }
+
+    /// The momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// The decoupled L2 weight-decay coefficient.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// Read access to the velocity buffers (keyed by parameter name).
+    pub fn velocity(&self) -> &HashMap<String, Tensor> {
+        &self.velocity
+    }
+
+    /// Exports the optimiser's full state into a named-tensor map:
+    /// `opt.hyper` (`[lr, momentum, weight_decay]`) plus one
+    /// `opt.velocity.{param}` tensor per momentum buffer.
+    ///
+    /// Without the velocity buffers a resumed run takes a different first
+    /// step than the uninterrupted run would have (heavy-ball momentum
+    /// restarts from zero), so they are part of the training state.
+    pub fn export_state(&self, out: &mut BTreeMap<String, Tensor>) {
+        out.insert(
+            "opt.hyper".to_string(),
+            Tensor::from_vec([3], vec![self.lr, self.momentum, self.weight_decay]),
+        );
+        // BTreeMap keeps the file deterministic regardless of HashMap
+        // iteration order.
+        for (name, v) in &self.velocity {
+            out.insert(format!("opt.velocity.{name}"), v.clone());
+        }
+    }
+
+    /// Imports state exported by [`Sgd::export_state`], returning the
+    /// number of tensors consumed.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when `opt.hyper` is present but malformed (wrong
+    /// length, non-positive learning rate, momentum outside `[0, 1)`, or
+    /// negative weight decay).
+    pub fn import_state(&mut self, tensors: &BTreeMap<String, Tensor>) -> io::Result<usize> {
+        let mut imported = 0usize;
+        if let Some(h) = tensors.get("opt.hyper") {
+            let d = h.data();
+            let ok = d.len() == 3
+                && d[0].is_finite()
+                && d[0] > 0.0
+                && (0.0..1.0).contains(&d[1])
+                && d[2].is_finite()
+                && d[2] >= 0.0;
+            if !ok {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "malformed opt.hyper tensor",
+                ));
+            }
+            self.lr = d[0];
+            self.momentum = d[1];
+            self.weight_decay = d[2];
+            imported += 1;
+        }
+        for (name, t) in tensors {
+            if let Some(param) = name.strip_prefix("opt.velocity.") {
+                self.velocity.insert(param.to_string(), t.clone());
+                imported += 1;
+            }
+        }
+        Ok(imported)
     }
 
     /// Applies one update step to a single parameter.
@@ -162,5 +235,49 @@ mod tests {
     #[should_panic(expected = "learning rate must be positive")]
     fn rejects_zero_lr() {
         let _ = Sgd::new(0.0, 0.9, 0.0);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_velocity_and_lr() {
+        let mut opt = Sgd::new(0.3, 0.9, 1e-4);
+        let mut p = param(&[1.0, 2.0], &[0.5, -0.5]);
+        opt.step_param(&mut p);
+        opt.set_lr(0.07);
+
+        let mut out = BTreeMap::new();
+        opt.export_state(&mut out);
+        assert!(out.contains_key("opt.hyper"));
+        assert!(out.contains_key("opt.velocity.w"));
+
+        let mut fresh = Sgd::new(1.0, 0.0, 0.0);
+        let n = fresh.import_state(&out).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(fresh.lr(), 0.07);
+        assert_eq!(fresh.momentum(), 0.9);
+        assert_eq!(fresh.velocity()["w"], opt.velocity()["w"]);
+
+        // Both take the same next step.
+        let mut pa = param(&[1.0], &[1.0]);
+        let mut pb = pa.clone();
+        pa.grad = Tensor::from_vec([1], vec![1.0]);
+        pb.grad = Tensor::from_vec([1], vec![1.0]);
+        opt.velocity.remove("w");
+        fresh.velocity.remove("w");
+        opt.step_param(&mut pa);
+        fresh.step_param(&mut pb);
+        assert_eq!(pa.value.data()[0].to_bits(), pb.value.data()[0].to_bits());
+    }
+
+    #[test]
+    fn import_rejects_malformed_hyper() {
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let mut bad = BTreeMap::new();
+        bad.insert("opt.hyper".to_string(), Tensor::from_vec([2], vec![0.1, 0.9]));
+        assert!(opt.import_state(&bad).is_err());
+        bad.insert(
+            "opt.hyper".to_string(),
+            Tensor::from_vec([3], vec![-1.0, 0.9, 0.0]),
+        );
+        assert!(opt.import_state(&bad).is_err());
     }
 }

@@ -65,11 +65,97 @@ impl LrSchedule {
             }
         }
     }
+    /// Encodes the schedule as a 5-lane tensor `[kind, a, b, c, d]` for
+    /// storage in a training-state checkpoint:
+    ///
+    /// * `Constant`     → `[0, lr, 0, 0, 0]`
+    /// * `Step`         → `[1, base_lr, step, gamma, 0]`
+    /// * `WarmupCosine` → `[2, base_lr, warmup_epochs, total_epochs, min_lr]`
+    ///
+    /// Epoch counts are exact for values below 2^24 (far beyond any
+    /// schedule in this workspace).
+    pub fn to_tensor(&self) -> p3d_tensor::Tensor {
+        let lanes = match *self {
+            LrSchedule::Constant { lr } => [0.0, lr, 0.0, 0.0, 0.0],
+            LrSchedule::Step {
+                base_lr,
+                step,
+                gamma,
+            } => [1.0, base_lr, step as f32, gamma, 0.0],
+            LrSchedule::WarmupCosine {
+                base_lr,
+                warmup_epochs,
+                total_epochs,
+                min_lr,
+            } => [
+                2.0,
+                base_lr,
+                warmup_epochs as f32,
+                total_epochs as f32,
+                min_lr,
+            ],
+        };
+        p3d_tensor::Tensor::from_vec([5], lanes.to_vec())
+    }
+
+    /// Decodes a schedule stored by [`LrSchedule::to_tensor`]. Returns
+    /// `None` for malformed tensors (wrong length, unknown kind, or
+    /// non-integral epoch counts).
+    pub fn from_tensor(t: &p3d_tensor::Tensor) -> Option<LrSchedule> {
+        let d = t.data();
+        if d.len() != 5 {
+            return None;
+        }
+        let as_count = |x: f32| -> Option<usize> {
+            (x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x < (1u32 << 24) as f32)
+                .then_some(x as usize)
+        };
+        match as_count(d[0])? {
+            0 => Some(LrSchedule::Constant { lr: d[1] }),
+            1 => Some(LrSchedule::Step {
+                base_lr: d[1],
+                step: as_count(d[2])?,
+                gamma: d[3],
+            }),
+            2 => Some(LrSchedule::WarmupCosine {
+                base_lr: d[1],
+                warmup_epochs: as_count(d[2])?,
+                total_epochs: as_count(d[3])?,
+                min_lr: d[4],
+            }),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tensor_roundtrip_all_variants() {
+        for s in [
+            LrSchedule::Constant { lr: 5e-4 },
+            LrSchedule::Step {
+                base_lr: 0.1,
+                step: 10,
+                gamma: 0.1,
+            },
+            LrSchedule::WarmupCosine {
+                base_lr: 0.02,
+                warmup_epochs: 2,
+                total_epochs: 25,
+                min_lr: 1e-5,
+            },
+        ] {
+            assert_eq!(LrSchedule::from_tensor(&s.to_tensor()), Some(s));
+        }
+        // Malformed inputs decode to None, never panic.
+        let bad = p3d_tensor::Tensor::from_vec([5], vec![9.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(LrSchedule::from_tensor(&bad), None);
+        let nan = p3d_tensor::Tensor::from_vec([5], vec![1.0, 0.1, f32::NAN, 0.5, 0.0]);
+        assert_eq!(LrSchedule::from_tensor(&nan), None);
+    }
 
     #[test]
     fn constant_is_constant() {

@@ -22,6 +22,38 @@ pub trait Dataset {
     fn num_classes(&self) -> usize;
 }
 
+/// A tiny linearly separable dataset — class is the sign of the clip
+/// mean — used by unit tests and checkpoint/resume smoke tests.
+///
+/// Deterministic: sample `idx` is always the same `[1, 1, 2, 2]` clip.
+#[derive(Clone, Copy, Debug)]
+pub struct ToyDataset {
+    n: usize,
+}
+
+impl ToyDataset {
+    /// A dataset with `n` samples (alternating labels).
+    pub fn new(n: usize) -> Self {
+        ToyDataset { n }
+    }
+}
+
+impl Dataset for ToyDataset {
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn sample(&self, idx: usize) -> (Tensor, usize) {
+        let label = idx % 2;
+        let value = if label == 0 { -1.0 } else { 1.0 };
+        // Index-dependent, deterministic jitter.
+        let jitter = (idx as f32 * 0.37).sin() * 0.1;
+        (Tensor::full([1, 1, 2, 2], value + jitter), label)
+    }
+    fn num_classes(&self) -> usize {
+        2
+    }
+}
+
 /// Stacks `[C, D, H, W]` clips into a `[B, C, D, H, W]` batch.
 ///
 /// # Panics
@@ -77,6 +109,21 @@ impl Trainer {
             batch_size,
             rng: TensorRng::seed(seed),
         }
+    }
+
+    /// Exports the shuffle-RNG state for checkpoint/resume.
+    ///
+    /// Restoring this state with [`Trainer::set_rng_state`] makes a
+    /// rebuilt trainer draw the exact same epoch permutations as the
+    /// original would have, which is required for bitwise-identical
+    /// resumed runs.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.export_state()
+    }
+
+    /// Installs a shuffle-RNG state captured by [`Trainer::rng_state`].
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = TensorRng::from_state(state);
     }
 
     /// Runs one epoch of training, optionally applying a gradient hook
@@ -163,25 +210,7 @@ mod tests {
     use crate::linear::{Flatten, Linear};
 
     /// A linearly separable toy dataset: class = sign of the mean.
-    struct Toy {
-        n: usize,
-    }
-
-    impl Dataset for Toy {
-        fn len(&self) -> usize {
-            self.n
-        }
-        fn sample(&self, idx: usize) -> (Tensor, usize) {
-            let label = idx % 2;
-            let value = if label == 0 { -1.0 } else { 1.0 };
-            // Add index-dependent jitter, deterministic.
-            let jitter = (idx as f32 * 0.37).sin() * 0.1;
-            (Tensor::full([1, 1, 2, 2], value + jitter), label)
-        }
-        fn num_classes(&self) -> usize {
-            2
-        }
-    }
+    type Toy = ToyDataset;
 
     fn toy_net(seed: u64) -> Sequential {
         let mut rng = TensorRng::seed(seed);
@@ -193,7 +222,7 @@ mod tests {
     #[test]
     fn trainer_learns_separable_toy() {
         let mut net = toy_net(1);
-        let data = Toy { n: 32 };
+        let data = Toy::new(32);
         let mut trainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(0.1, 0.9, 0.0), 8, 42);
         for _ in 0..20 {
             trainer.train_epoch(&mut net, &data, None);
@@ -205,7 +234,7 @@ mod tests {
     #[test]
     fn loss_decreases() {
         let mut net = toy_net(2);
-        let data = Toy { n: 32 };
+        let data = Toy::new(32);
         let mut trainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(0.05, 0.0, 0.0), 8, 7);
         let first = trainer.train_epoch(&mut net, &data, None).loss;
         for _ in 0..10 {
@@ -218,7 +247,7 @@ mod tests {
     #[test]
     fn grad_hook_is_invoked() {
         let mut net = toy_net(3);
-        let data = Toy { n: 8 };
+        let data = Toy::new(8);
         let mut trainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(0.01, 0.0, 0.0), 4, 1);
         let mut calls = 0usize;
         let mut hook = |_p: &mut Param| calls += 1;

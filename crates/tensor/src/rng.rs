@@ -103,6 +103,23 @@ impl TensorRng {
     pub fn fork(&mut self) -> TensorRng {
         TensorRng::seed(self.inner.random())
     }
+
+    /// Exports the raw generator state for checkpoint/resume.
+    ///
+    /// A generator rebuilt with [`TensorRng::from_state`] continues the
+    /// exact same random stream, which is what makes interrupted training
+    /// runs bitwise-resumable.
+    pub fn export_state(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
+    /// Rebuilds a generator from a state captured by
+    /// [`TensorRng::export_state`].
+    pub fn from_state(state: [u64; 4]) -> Self {
+        TensorRng {
+            inner: StdRng::from_state(state),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +174,16 @@ mod tests {
         let mut sorted = p.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream() {
+        let mut rng = TensorRng::seed(11);
+        let _ = rng.permutation(17); // advance
+        let state = rng.export_state();
+        let a = rng.uniform_tensor([32], -1.0, 1.0);
+        let b = TensorRng::from_state(state).uniform_tensor([32], -1.0, 1.0);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -51,8 +51,11 @@ fn main() {
     // 3. Reload into a fresh network (fresh random init, then restore).
     let mut fresh = build_network(&spec, 999);
     let reloaded = Checkpoint::load(&ckpt_path).expect("load checkpoint");
-    let restored = reloaded.restore(&mut fresh);
-    println!("restored {restored} parameters into a fresh network");
+    let report = reloaded.restore(&mut fresh);
+    println!(
+        "restored {} tensors into a fresh network",
+        report.num_restored()
+    );
 
     // 4. Export hardware artifacts: block-enable bitmaps per layer.
     println!("\nblock-enable bitmaps (the accelerator's pre-stored arrays):");

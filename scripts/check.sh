@@ -19,4 +19,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+# Named explicitly so a future test-harness filter cannot silently drop
+# them: the checkpoint robustness fuzz (truncation / bit flips /
+# garbage must error, never panic or over-allocate) and the
+# kill-and-resume bitwise-equivalence suite are merge requirements in
+# their own right.
+echo "==> checkpoint robustness fuzz"
+cargo test -q -p p3d-nn --test checkpoint_fuzz
+
+echo "==> kill-and-resume bitwise equivalence"
+cargo test -q -p p3d-core --test resume
+
 echo "All checks passed."

@@ -7,6 +7,7 @@
 //! p3d eval     --ckpt model.ckpt [--model ...] [--clips N]
 //! p3d prune    --ckpt model.ckpt [--model ...] [--tm 8] [--tn 4]
 //!              [--eta2 0.9] [--eta3 0.8] [--retrain N] [--out pruned.ckpt]
+//!              [--save-every N] [--resume] [--state FILE]
 //! p3d simulate --ckpt model.ckpt [--model ...] [--tm 8] [--tn 4]
 //! p3d tables   (prints the paper-table summaries)
 //! ```
@@ -19,10 +20,13 @@ use p3d::models::{
     build_network, c3d_lite, r2plus1d_lite, r2plus1d_lite_wide, r2plus1d_micro, NetworkSpec,
 };
 use p3d::nn::{
-    evaluate, Checkpoint, CrossEntropyLoss, Dataset, LrSchedule, Sequential, Sgd, Trainer,
+    evaluate, Checkpoint, CrossEntropyLoss, Dataset, LrSchedule, Sequential, Sgd, TrainState,
+    Trainer,
 };
 use p3d::pruning::{
-    targets_for_stages, AdmmConfig, AdmmPruner, BlockShape, KeepRule, PrunedModel,
+    capture_admm_train_state, capture_retrain_state, restore_admm_train_state,
+    restore_retrain_state, targets_for_stages, AdmmConfig, AdmmProgress, AdmmPruner, BlockShape,
+    KeepRule, PrunedModel, RETRAIN_PROGRESS_KEY,
 };
 use p3d::video_data::{GeneratorConfig, SyntheticVideo};
 use std::collections::HashMap;
@@ -35,15 +39,18 @@ struct Args {
 impl Args {
     fn parse(argv: &[String]) -> Result<Self, String> {
         let mut flags = HashMap::new();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{a}'"));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{key} requires a value"))?;
-            flags.insert(key.to_string(), value.clone());
+            // A flag followed by another flag (or nothing) is boolean,
+            // e.g. `--resume`; otherwise it consumes the next token.
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(key.to_string(), value);
         }
         Ok(Args { flags })
     }
@@ -96,10 +103,16 @@ fn dataset_for(spec: &NetworkSpec, clips: usize, seed: u64) -> (SyntheticVideo, 
 fn load_into(spec: &NetworkSpec, ckpt_path: &str, seed: u64) -> Result<Sequential, String> {
     let mut net = build_network(spec, seed);
     let ckpt = Checkpoint::load(ckpt_path).map_err(|e| format!("cannot load {ckpt_path}: {e}"))?;
-    let n = ckpt.restore(&mut net);
-    if n == 0 {
+    let report = ckpt.restore(&mut net);
+    if report.num_restored() == 0 {
         return Err(format!(
             "checkpoint {ckpt_path} matches no parameters of this model"
+        ));
+    }
+    if !report.mismatched.is_empty() {
+        return Err(format!(
+            "checkpoint {ckpt_path} shape mismatch for {:?} — was it written by a different model?",
+            report.mismatched
         ));
     }
     Ok(net)
@@ -154,6 +167,9 @@ fn cmd_prune(args: &Args) -> Result<(), String> {
     let retrain: usize = args.get("retrain", 15)?;
     let ckpt = args.required("ckpt")?;
     let out = args.get("out", "pruned.ckpt".to_string())?;
+    let save_every: usize = args.get("save-every", 0)?;
+    let resume: bool = args.get("resume", false)?;
+    let state_path = args.get("state", format!("{out}.state"))?;
 
     let mut net = load_into(&spec, &ckpt, seed)?;
     let (train, test) = dataset_for(&spec, clips, seed);
@@ -179,21 +195,81 @@ fn cmd_prune(args: &Args) -> Result<(), String> {
         epsilon: 0.05,
     };
     let mut pruner = AdmmPruner::new(&mut net, BlockShape::new(tm, tn), &targets, admm);
-    eprintln!("ADMM training...");
-    let log = pruner.admm_train(&mut net, &mut trainer, &train);
-    eprintln!(
-        "final primal residual: {:.3}",
-        log.rounds.last().map(|r| r.max_primal_residual).unwrap_or(f32::NAN)
-    );
-    let pruned = pruner.hard_prune(&mut net);
     let schedule = LrSchedule::WarmupCosine {
         base_lr: 5e-3,
         warmup_epochs: 2,
         total_epochs: retrain,
         min_lr: 1e-5,
     };
-    let mut retrainer = Trainer::new(CrossEntropyLoss::new(), Sgd::new(5e-3, 0.9, 1e-4), 16, seed + 2);
-    AdmmPruner::retrain(&mut net, &mut retrainer, &train, &schedule, retrain);
+    let mut retrainer =
+        Trainer::new(CrossEntropyLoss::new(), Sgd::new(5e-3, 0.9, 1e-4), 16, seed + 2);
+
+    // --resume picks up the interrupted phase from --state.
+    let loaded = if resume && std::path::Path::new(&state_path).exists() {
+        Some(
+            TrainState::load(&state_path)
+                .map_err(|e| format!("cannot load state {state_path}: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let in_retrain_phase = loaded
+        .as_ref()
+        .is_some_and(|st| st.get(RETRAIN_PROGRESS_KEY).is_some());
+
+    let (pruned, start_epoch) = if in_retrain_phase {
+        let st = loaded.as_ref().unwrap();
+        let (_saved_sched, done) = restore_retrain_state(st, &mut net, &mut retrainer)
+            .map_err(|e| format!("cannot resume retraining: {e}"))?;
+        eprintln!("resuming masked retraining after epoch {done}");
+        (pruner.pruned_model_from_masks(&mut net), done)
+    } else {
+        let mut start = AdmmProgress::start();
+        if let Some(st) = &loaded {
+            start = restore_admm_train_state(st, &mut net, &mut trainer, &mut pruner)
+                .map_err(|e| format!("cannot resume ADMM training: {e}"))?;
+            eprintln!(
+                "resuming ADMM training at round {}, epoch {}",
+                start.round, start.epoch
+            );
+        }
+        eprintln!("ADMM training...");
+        let log = pruner.admm_train_from(&mut net, &mut trainer, &train, start, &mut |t| {
+            if save_every > 0 && t.progress.epoch % save_every == 0 {
+                let st = capture_admm_train_state(t.network, t.trainer, t.pruner, t.progress);
+                if let Err(e) = st.save(&state_path) {
+                    eprintln!("warning: cannot save state {state_path}: {e}");
+                }
+            }
+            true
+        });
+        eprintln!(
+            "final primal residual: {:.3}",
+            log.rounds.last().map(|r| r.max_primal_residual).unwrap_or(f32::NAN)
+        );
+        (pruner.hard_prune(&mut net), 0)
+    };
+    AdmmPruner::retrain_from(
+        &mut net,
+        &mut retrainer,
+        &train,
+        &schedule,
+        retrain,
+        start_epoch,
+        &mut |t| {
+            if save_every > 0 && (t.epoch + 1) % save_every == 0 {
+                let st = capture_retrain_state(t.network, t.trainer, &schedule, t.epoch + 1);
+                if let Err(e) = st.save(&state_path) {
+                    eprintln!("warning: cannot save state {state_path}: {e}");
+                }
+            }
+            true
+        },
+    );
+    if save_every > 0 {
+        // The run completed; the intermediate state is no longer needed.
+        let _ = std::fs::remove_file(&state_path);
+    }
     let after = evaluate(&mut net, &test, 16);
     println!(
         "accuracy: {before:.4} -> {after:.4} at {:.0}% kept weights in pruned stages",
