@@ -1,0 +1,320 @@
+//! Batched-inference throughput/latency benchmark over both backends.
+//!
+//! Streams synthetic clips through the [`p3d_infer`] serving layer —
+//! the arena-backed f32 engine and the Q7.8 accelerator simulator —
+//! at several thread counts, compares every batched run bitwise against
+//! a per-clip sequential `forward` loop, and renders the result as a
+//! hand-rolled JSON document (`BENCH_inference.json`), mirroring
+//! `BENCH_conv3d.json` from the training-step benchmark.
+//!
+//! Run the full benchmark with:
+//!
+//! ```text
+//! cargo run --release -p p3d-bench --bin inference_throughput
+//! ```
+
+use p3d_core::PrunedModel;
+use p3d_fpga::{AcceleratorConfig, Ports, QuantizedNetwork, Tiling};
+use p3d_infer::{BatchScheduler, F32Engine, InferenceEngine, LatencyStats, SimEngine};
+use p3d_models::{build_network, r2plus1d_micro, NetworkSpec};
+use p3d_nn::{Layer, Mode, Sequential};
+use p3d_tensor::parallel::set_thread_override;
+use p3d_tensor::{Tensor, TensorRng};
+use std::time::Instant;
+
+/// Stream and repetition parameters for one benchmark run.
+#[derive(Clone, Debug)]
+pub struct InferBenchConfig {
+    /// Clips in the request stream.
+    pub clips: usize,
+    /// Maximum batch size the scheduler forms.
+    pub batch: usize,
+    /// Timed stream repetitions (best run reported, after one untimed
+    /// warm-up that also sizes the arenas).
+    pub reps: usize,
+    /// Thread counts to measure; must start with `1`.
+    pub threads: Vec<usize>,
+    /// Classifier width of the micro model.
+    pub num_classes: usize,
+    /// Weight/clip RNG seed.
+    pub seed: u64,
+}
+
+impl InferBenchConfig {
+    /// The headline configuration: a 48-clip stream in batches of 8.
+    pub fn standard() -> Self {
+        InferBenchConfig {
+            clips: 48,
+            batch: 8,
+            reps: 3,
+            threads: vec![1, 2, 4],
+            num_classes: 4,
+            seed: 2020,
+        }
+    }
+
+    /// A sub-second smoke configuration for `cargo test`.
+    pub fn smoke() -> Self {
+        InferBenchConfig {
+            clips: 6,
+            batch: 2,
+            reps: 1,
+            threads: vec![1, 2],
+            num_classes: 4,
+            seed: 2020,
+        }
+    }
+
+    fn spec(&self) -> NetworkSpec {
+        r2plus1d_micro(self.num_classes)
+    }
+
+    fn clips(&self) -> Vec<Tensor> {
+        let mut rng = TensorRng::seed(self.seed ^ 0x5eed);
+        (0..self.clips)
+            .map(|_| rng.uniform_tensor([1, 6, 16, 16], 0.0, 1.0))
+            .collect()
+    }
+}
+
+/// Measured numbers for one backend at one thread count.
+#[derive(Clone, Debug)]
+pub struct BackendResult {
+    /// `"f32"` or `"sim"`.
+    pub backend: String,
+    /// Forced worker count.
+    pub threads: usize,
+    /// Batched-stream throughput (best rep).
+    pub clips_per_s: f64,
+    /// Per-request latency percentiles for the best rep.
+    pub latency: LatencyStats,
+    /// Per-clip sequential `forward` loop throughput at the same thread
+    /// count (best rep).
+    pub sequential_clips_per_s: f64,
+    /// `clips_per_s / sequential_clips_per_s`.
+    pub batched_speedup: f64,
+    /// `true` when every batched logit bit-matched the sequential loop.
+    pub bitwise_equal: bool,
+}
+
+/// A complete benchmark report.
+#[derive(Clone, Debug)]
+pub struct InferBenchReport {
+    /// The configuration that was run.
+    pub config: InferBenchConfig,
+    /// One row per (backend, thread count).
+    pub results: Vec<BackendResult>,
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Times `stream` repetitions of draining `clips` through `engine` and
+/// returns the best run's `(clips_per_s, latency, logits_bits)`.
+fn time_stream(
+    engine: &mut dyn InferenceEngine,
+    clips: &[Tensor],
+    batch: usize,
+    reps: usize,
+) -> (f64, LatencyStats, Vec<Vec<u32>>) {
+    let mut best: Option<(f64, LatencyStats, Vec<Vec<u32>>)> = None;
+    for _ in 0..reps.max(1) {
+        let mut sched = BatchScheduler::new(batch);
+        for c in clips {
+            sched.submit(c.clone());
+        }
+        let run = sched.drain(engine);
+        let cps = run.clips_per_s();
+        let better = match &best {
+            None => true,
+            Some((b, _, _)) => cps > *b,
+        };
+        if better {
+            let logits = run.results.iter().map(|r| bits(&r.logits)).collect();
+            best = Some((cps, run.latency_stats(), logits));
+        }
+    }
+    best.unwrap()
+}
+
+/// Times `reps` repetitions of a plain per-clip loop and returns the
+/// best `(clips_per_s, logits_bits)`.
+fn time_sequential(
+    mut step: impl FnMut(&Tensor, &mut Vec<Vec<u32>>),
+    clips: &[Tensor],
+    reps: usize,
+) -> (f64, Vec<Vec<u32>>) {
+    let mut best_s = f64::INFINITY;
+    let mut logits: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..reps.max(1) {
+        let mut out = Vec::with_capacity(clips.len());
+        let t0 = Instant::now();
+        for c in clips {
+            step(c, &mut out);
+        }
+        let s = t0.elapsed().as_secs_f64();
+        if s < best_s {
+            best_s = s;
+            logits = out;
+        }
+    }
+    (clips.len() as f64 / best_s.max(1e-12), logits)
+}
+
+fn micro_cfg() -> AcceleratorConfig {
+    AcceleratorConfig {
+        tiling: Tiling::new(4, 4, 2, 4, 4),
+        ports: Ports::new(2, 2, 2),
+        freq_mhz: 150.0,
+        data_bits: 16,
+    }
+}
+
+/// Runs both backends across every thread count in `cfg.threads`.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` does not start with `1`, or if any batched
+/// run is not bitwise identical to its sequential per-clip baseline.
+pub fn run_inference_throughput(cfg: &InferBenchConfig) -> InferBenchReport {
+    assert_eq!(
+        cfg.threads.first(),
+        Some(&1),
+        "thread list must start with the serial baseline"
+    );
+    let spec = cfg.spec();
+    let clips = cfg.clips();
+    let mut results = Vec::new();
+
+    for &t in &cfg.threads {
+        set_thread_override(Some(t));
+
+        // f32 backend: arena engine vs plain per-clip forward.
+        let mut engine = F32Engine::new(t.min(cfg.batch).max(1), || build_network(&spec, cfg.seed));
+        let _ = engine.infer_batch(&clips[..cfg.batch.min(clips.len())]); // warm arenas
+        let (cps, lat, batched_logits) = time_stream(&mut engine, &clips, cfg.batch, cfg.reps);
+        let mut seq_net: Sequential = build_network(&spec, cfg.seed);
+        let (seq_cps, seq_logits) = time_sequential(
+            |c, out| {
+                let batch = c.reshape([1, 1, 6, 16, 16]);
+                out.push(bits(seq_net.forward(&batch, Mode::Eval).data()));
+            },
+            &clips,
+            cfg.reps,
+        );
+        let equal = batched_logits == seq_logits;
+        assert!(equal, "f32 batched run diverged from sequential at {t} threads");
+        results.push(BackendResult {
+            backend: "f32".into(),
+            threads: t,
+            clips_per_s: cps,
+            latency: lat,
+            sequential_clips_per_s: seq_cps,
+            batched_speedup: cps / seq_cps.max(1e-12),
+            bitwise_equal: equal,
+        });
+
+        // Q7.8 simulator backend.
+        let mut net = build_network(&spec, cfg.seed);
+        let q = QuantizedNetwork::from_network(&spec, &mut net, micro_cfg());
+        let q_seq = QuantizedNetwork::from_network(&spec, &mut net, micro_cfg());
+        let mut engine = SimEngine::new(q, PrunedModel::dense());
+        let (cps, lat, batched_logits) = time_stream(&mut engine, &clips, cfg.batch, cfg.reps);
+        let (seq_cps, seq_logits) = time_sequential(
+            |c, out| {
+                out.push(bits(&q_seq.forward(c, &PrunedModel::dense()).logits));
+            },
+            &clips,
+            cfg.reps,
+        );
+        let equal = batched_logits == seq_logits;
+        assert!(equal, "sim batched run diverged from sequential at {t} threads");
+        results.push(BackendResult {
+            backend: "sim".into(),
+            threads: t,
+            clips_per_s: cps,
+            latency: lat,
+            sequential_clips_per_s: seq_cps,
+            batched_speedup: cps / seq_cps.max(1e-12),
+            bitwise_equal: equal,
+        });
+    }
+    set_thread_override(None);
+    InferBenchReport {
+        config: cfg.clone(),
+        results,
+    }
+}
+
+impl InferBenchReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let host_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"benchmark\": \"batched_inference\",\n");
+        s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+        s.push_str("  \"config\": {\n");
+        s.push_str("    \"model\": \"r2plus1d_micro\",\n");
+        s.push_str(&format!("    \"clips\": {},\n", c.clips));
+        s.push_str(&format!("    \"batch\": {},\n", c.batch));
+        s.push_str(&format!("    \"num_classes\": {},\n", c.num_classes));
+        s.push_str(&format!("    \"reps\": {}\n", c.reps));
+        s.push_str("  },\n");
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"threads\": {}, \"clips_per_s\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"sequential_clips_per_s\": {:.2}, \"batched_speedup\": {:.3}, \"bitwise_equal\": {}}}{}\n",
+                r.backend,
+                r.threads,
+                r.clips_per_s,
+                r.latency.p50_ms,
+                r.latency.p95_ms,
+                r.latency.p99_ms,
+                r.latency.mean_ms,
+                r.sequential_clips_per_s,
+                r.batched_speedup,
+                r.bitwise_equal,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_valid_report() {
+        let report = run_inference_throughput(&InferBenchConfig::smoke());
+        // Two backends at each of two thread counts.
+        assert_eq!(report.results.len(), 4);
+        for r in &report.results {
+            assert!(r.clips_per_s.is_finite() && r.clips_per_s > 0.0);
+            assert!(r.latency.p99_ms >= r.latency.p50_ms);
+            assert!(r.bitwise_equal);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"batched_inference\""));
+        assert!(json.contains("\"backend\": \"f32\""));
+        assert!(json.contains("\"backend\": \"sim\""));
+        assert!(json.contains("\"p99_ms\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "serial baseline")]
+    fn thread_list_must_start_serial() {
+        let mut cfg = InferBenchConfig::smoke();
+        cfg.threads = vec![2];
+        let _ = run_inference_throughput(&cfg);
+    }
+}

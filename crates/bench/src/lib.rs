@@ -10,6 +10,7 @@
 //! cargo run --release -p p3d-bench --bin table2
 //! ```
 
+pub mod infer;
 pub mod masks;
 pub mod published;
 pub mod resume_cli;
@@ -20,6 +21,7 @@ pub use masks::{paper_pruned_model, uniform_mask};
 pub use resume_cli::{
     capture_baseline, restore_baseline, run_baseline_phase, ResumeOpts, BASELINE_PROGRESS_KEY,
 };
+pub use infer::{run_inference_throughput, InferBenchConfig, InferBenchReport};
 pub use published::{PublishedRow, TABLE4_ROWS};
 pub use table::TableWriter;
 pub use throughput::{run_conv3d_throughput, Conv3dBenchConfig, Conv3dBenchReport};

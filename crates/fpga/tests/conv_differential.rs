@@ -1,0 +1,216 @@
+//! Golden differential tests: the Q7.8 tiled engine (`sim::run_conv`)
+//! against the f32 `Conv3d` layer on randomized shapes, strides and
+//! pads — dense and block-masked.
+//!
+//! The operand ranges are chosen so the bound is *analytic*, not
+//! empirical. Both paths consume the **same dequantized Q7.8 values**:
+//!
+//! * weights `|w| <= 0.45` quantize to at most 116 counts (7 bits),
+//!   inputs `|x| <= 0.95` to at most 244 counts (8 bits), so every
+//!   product needs at most 15 bits — exact in f32;
+//! * with at most `6 * 3^3 = 162` MACs per output, every partial sum is
+//!   a multiple of `2^-16` below `256 = 2^24 * 2^-16` in magnitude —
+//!   also exact in f32, in any summation order. The f32 `Conv3d` result
+//!   is therefore the *exact* sum of products;
+//! * the simulator accumulates the identical products exactly in its
+//!   wide i64 register and rounds once at `finish`, so the two outputs
+//!   can differ only by that final rounding: at most half a Q7.8 ULP,
+//!   `1/512`. (The exact sum stays below `162 * 0.45 * 0.95 < 70`, so
+//!   saturation never triggers and the bound is tight.)
+
+use p3d_core::{BlockGrid, BlockShape, LayerBlockMask};
+use p3d_fpga::sim::run_conv;
+use p3d_fpga::{AcceleratorConfig, Ports, Tiling};
+use p3d_models::{Conv3dSpec, ConvInstance};
+use p3d_nn::{Conv3d, Layer, Mode};
+use p3d_tensor::shape::conv_out;
+use p3d_tensor::{FixedTensor, Shape, Tensor, TensorRng};
+use proptest::prelude::*;
+
+/// `Tm = Tn = 2` so channel blocks are 2x2 like the paper's Fig. 2
+/// sketch; small volume tiles force multi-tile traversals even on the
+/// tiny random geometries.
+fn cfg() -> AcceleratorConfig {
+    AcceleratorConfig {
+        tiling: Tiling::new(2, 2, 2, 4, 4),
+        ports: Ports::new(2, 2, 2),
+        freq_mhz: 150.0,
+        data_bits: 16,
+    }
+}
+
+struct Case {
+    inst: ConvInstance,
+    /// Dequantized Q7.8 weights `[M, N, Kd, Kr, Kc]` — fed to both paths.
+    w: Tensor,
+    /// Dequantized Q7.8 input `[N, Di, Hi, Wi]` — fed to both paths.
+    x: Tensor,
+}
+
+impl Case {
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        m: usize,
+        n: usize,
+        kernel: (usize, usize, usize),
+        stride: (usize, usize, usize),
+        pad: (usize, usize, usize),
+        extra: (usize, usize, usize),
+        seed: u64,
+        zero_blocks: impl FnOnce(&Tensor) -> Option<LayerBlockMask>,
+    ) -> (Self, Option<LayerBlockMask>) {
+        let (di, hi, wi) = (kernel.0 + extra.0, kernel.1 + extra.1, kernel.2 + extra.2);
+        let inst = ConvInstance {
+            spec: Conv3dSpec {
+                name: "diff".into(),
+                stage: "test".into(),
+                out_channels: m,
+                in_channels: n,
+                kernel,
+                stride,
+                pad,
+                bias: false,
+            },
+            input: (n, di, hi, wi),
+            output: (
+                m,
+                conv_out(di, kernel.0, stride.0, pad.0),
+                conv_out(hi, kernel.1, stride.1, pad.1),
+                conv_out(wi, kernel.2, stride.2, pad.2),
+            ),
+        };
+        let mut rng = TensorRng::seed(seed ^ 0xd1ff);
+        let mut w = rng.uniform_tensor([m, n, kernel.0, kernel.1, kernel.2], -0.45, 0.45);
+        let mask = zero_blocks(&w);
+        if let Some(mask) = &mask {
+            for bi in 0..mask.grid.rows() {
+                for bj in 0..mask.grid.cols() {
+                    if !mask.is_enabled(bi, bj) {
+                        mask.grid.zero_block(&mut w, bi, bj);
+                    }
+                }
+            }
+        }
+        let x = rng.uniform_tensor([n, di, hi, wi], -0.95, 0.95);
+        // Snap both operands to their Q7.8 grid once, so the f32 layer
+        // and the simulator see bitwise-identical values.
+        let w = FixedTensor::quantize(&w).dequantize();
+        let x = FixedTensor::quantize(&x).dequantize();
+        (Case { inst, w, x }, mask)
+    }
+
+    /// The f32 golden path: the real `Conv3d` layer (im2col + GEMM).
+    fn f32_conv(&self) -> Tensor {
+        let (n, di, hi, wi) = self.inst.input;
+        let spec = &self.inst.spec;
+        let mut rng = TensorRng::seed(0);
+        let mut conv = Conv3d::new(
+            "diff",
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.stride,
+            spec.pad,
+            false,
+            &mut rng,
+        );
+        conv.weight.value = self.w.clone();
+        let x5 = self.x.reshape(Shape::d5(1, n, di, hi, wi));
+        conv.forward(&x5, Mode::Eval)
+    }
+
+    /// The Q7.8 path through the tiled engine.
+    fn sim(&self, mask: Option<&LayerBlockMask>) -> (FixedTensor, p3d_fpga::ConvStats) {
+        run_conv(
+            &self.inst,
+            &FixedTensor::quantize(&self.w),
+            &FixedTensor::quantize(&self.x),
+            mask,
+            &cfg(),
+        )
+    }
+}
+
+/// Asserts the analytic half-ULP bound element by element.
+fn assert_within_half_ulp(sim: &FixedTensor, golden: &Tensor, what: &str) {
+    let sim_f = sim.dequantize();
+    assert_eq!(sim_f.shape().len(), golden.shape().len(), "{what}: shape");
+    for (i, (a, b)) in sim_f.data().iter().zip(golden.data()).enumerate() {
+        let err = (a - b).abs();
+        assert!(
+            err <= FixedTensor::half_ulp(),
+            "{what}: element {i} off by {err} ({a} vs {b}), above half ULP {}",
+            FixedTensor::half_ulp()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dense engine vs f32 `Conv3d` across random geometry: every
+    /// element within the analytic half-ULP bound.
+    #[test]
+    fn dense_sim_matches_f32_conv_within_half_ulp(
+        (m, n) in (1usize..=6, 1usize..=6),
+        kernel in (1usize..=3, 1usize..=3, 1usize..=3),
+        stride in (1usize..=2, 1usize..=2, 1usize..=2),
+        pad in (0usize..=1, 0usize..=1, 0usize..=1),
+        extra in (0usize..=3, 0usize..=3, 0usize..=3),
+        seed in 0u64..1_000_000,
+    ) {
+        let (case, _) = Case::build(m, n, kernel, stride, pad, extra, seed, |_| None);
+        let golden = case.f32_conv();
+        let (sim_out, stats) = case.sim(None);
+        assert_within_half_ulp(&sim_out, &golden, "dense");
+        prop_assert_eq!(stats.blocks_skipped, 0);
+        prop_assert_eq!(stats.macs, case.inst.macs() as u64);
+    }
+
+    /// Block-masked engine: skipping a zeroed block must reproduce the
+    /// zero-weight dense result *bitwise*, and still track the f32
+    /// golden output of the zeroed weights within half a ULP.
+    #[test]
+    fn masked_blocks_equal_zero_weight_outputs_exactly(
+        (m, n) in (1usize..=6, 1usize..=6),
+        kernel in (1usize..=3, 1usize..=3, 1usize..=3),
+        stride in (1usize..=2, 1usize..=2, 1usize..=2),
+        pad in (0usize..=1, 0usize..=1, 0usize..=1),
+        extra in (0usize..=3, 0usize..=3, 0usize..=3),
+        seed in 0u64..1_000_000,
+        keep_pattern in prop::collection::vec(any::<bool>(), 1..16),
+    ) {
+        let (case, mask) = Case::build(m, n, kernel, stride, pad, extra, seed, |w| {
+            let grid = BlockGrid::for_weight(w, BlockShape::new(2, 2));
+            let keep: Vec<bool> = (0..grid.num_blocks())
+                .map(|i| keep_pattern[i % keep_pattern.len()])
+                .collect();
+            Some(LayerBlockMask::new(grid, keep))
+        });
+        let mask = mask.expect("mask built above");
+        let disabled = (0..mask.grid.rows())
+            .flat_map(|bi| (0..mask.grid.cols()).map(move |bj| (bi, bj)))
+            .filter(|&(bi, bj)| !mask.is_enabled(bi, bj))
+            .count() as u64;
+
+        let golden = case.f32_conv(); // zeroed weights, full compute
+        let (dense, s_dense) = case.sim(None);
+        let (sparse, s_sparse) = case.sim(Some(&mask));
+
+        // Lossless skipping: bitwise identity with the dense run over
+        // the same (zeroed) weights.
+        prop_assert_eq!(&sparse, &dense, "block skipping changed the output");
+        assert_within_half_ulp(&sparse, &golden, "masked");
+
+        // Each disabled block is skipped once per output-volume tile.
+        let (_, od, oh, ow) = case.inst.output;
+        let t = cfg().tiling;
+        let tiles = (od.div_ceil(t.td) * oh.div_ceil(t.tr) * ow.div_ceil(t.tc)) as u64;
+        prop_assert_eq!(s_sparse.blocks_skipped, disabled * tiles);
+        prop_assert!(s_sparse.macs <= s_dense.macs);
+        if disabled > 0 {
+            prop_assert!(s_sparse.macs < s_dense.macs);
+            prop_assert!(s_sparse.weight_words < s_dense.weight_words);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Inference backends behind a common trait.
+//!
+//! Both backends accept rank-4 `[C, D, H, W]` clips and fill a
+//! caller-provided `&mut [ClipResult]` slice indexed by submission order,
+//! so result collection is fixed-order by construction: the output for
+//! clip `i` always lands in slot `i` no matter which worker computed it.
+
+use p3d_core::PrunedModel;
+use p3d_fpga::sim::QuantizedNetwork;
+use p3d_nn::{EvalArena, Layer, Sequential};
+use p3d_tensor::parallel::{parallel_chunk_map, parallel_worker_chunks};
+use p3d_tensor::{Shape, Tensor};
+
+/// The classifier output for one clip.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClipResult {
+    /// Raw (f32 or dequantised) logits.
+    pub logits: Vec<f32>,
+    /// Predicted class index.
+    pub prediction: usize,
+}
+
+/// Index of the largest logit, breaking ties toward the **last** maximum
+/// — the same convention as `Tensor::argmax` and `p3d_nn::evaluate`.
+pub fn argmax(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// A batched inference backend.
+///
+/// Implementations must be deterministic: for a fixed model, the results
+/// for a given clip are bitwise identical no matter the batch
+/// composition, the thread count, or which internal worker ran the clip.
+pub trait InferenceEngine {
+    /// Short backend name for reports (`"f32"`, `"sim"`).
+    fn name(&self) -> &str;
+
+    /// Runs `clips` and writes results into `out` (same length, matched
+    /// by index). Reusing `out` across calls lets warm `logits` vectors
+    /// absorb the writes without reallocating.
+    fn infer_batch_into(&mut self, clips: &[Tensor], out: &mut [ClipResult]);
+
+    /// Convenience wrapper allocating fresh results.
+    fn infer_batch(&mut self, clips: &[Tensor]) -> Vec<ClipResult> {
+        let mut out = vec![ClipResult::default(); clips.len()];
+        self.infer_batch_into(clips, &mut out);
+        out
+    }
+}
+
+/// One f32 worker: a network replica plus its private activation arena.
+///
+/// Replicas never share mutable state, so a batch can fan out clip-
+/// parallel with each worker running the allocation-free arena path.
+struct Replica {
+    net: Sequential,
+    arena: EvalArena,
+}
+
+impl Replica {
+    /// Runs one `[C, D, H, W]` clip through the arena evaluation path.
+    fn run(&mut self, clip: &Tensor, out: &mut ClipResult) {
+        let s = clip.shape();
+        assert_eq!(s.rank(), 4, "engine expects [C, D, H, W] clips, got {s}");
+        self.arena.reset();
+        let id = self.arena.load_clip(clip);
+        // Relabel as a batch of one; pure metadata, no copy.
+        self.arena
+            .set_shape(id, Shape::d5(1, s.dim(0), s.dim(1), s.dim(2), s.dim(3)));
+        let out_id = self.net.eval_into(&mut self.arena, id);
+        out.logits.clear();
+        out.logits.extend_from_slice(self.arena.buf(out_id));
+        out.prediction = argmax(&out.logits);
+    }
+}
+
+/// Batched f32 inference over replicated `p3d-nn` networks.
+///
+/// Each worker owns a replica of the network and an [`EvalArena`], so the
+/// steady-state forward is allocation-free (buffers are acquired once on
+/// the first clip and reused thereafter) and clips fan out in parallel
+/// without locking. All replicas carry identical parameters, which makes
+/// the batch output independent of the clip-to-worker assignment.
+pub struct F32Engine {
+    replicas: Vec<Replica>,
+}
+
+impl F32Engine {
+    /// Builds an engine with `replicas` identical copies of the network
+    /// produced by `build` (e.g. `build_network` + checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(replicas: usize, mut build: impl FnMut() -> Sequential) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        F32Engine {
+            replicas: (0..replicas)
+                .map(|_| Replica {
+                    net: build(),
+                    arena: EvalArena::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of worker replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Total grow/fallback events summed over all replica arenas; a
+    /// steady-state batch must leave these untouched.
+    pub fn arena_grow_events(&self) -> usize {
+        self.replicas
+            .iter()
+            .map(|r| r.arena.stats().grow_events + r.arena.stats().fallback_events)
+            .sum()
+    }
+}
+
+impl InferenceEngine for F32Engine {
+    fn name(&self) -> &str {
+        "f32"
+    }
+
+    fn infer_batch_into(&mut self, clips: &[Tensor], out: &mut [ClipResult]) {
+        assert_eq!(clips.len(), out.len(), "clips/results length mismatch");
+        // One chunk per clip; each worker state is a network replica.
+        // Results land at the clip's own index regardless of scheduling.
+        parallel_worker_chunks(out, 1, &mut self.replicas, |rep, idx, slot| {
+            rep.run(&clips[idx], &mut slot[0]);
+        });
+    }
+}
+
+/// Batched Q7.8 inference over the simulated accelerator.
+///
+/// [`QuantizedNetwork::forward`] takes `&self`, so one quantised model is
+/// shared read-only across workers; the block-enable maps from the
+/// pruned-model artifact gate computation exactly as in `p3d simulate`.
+pub struct SimEngine {
+    net: QuantizedNetwork,
+    pruned: PrunedModel,
+}
+
+impl SimEngine {
+    /// Wraps a quantised network and a pruning artifact (use
+    /// [`PrunedModel::dense`] for an unpruned run).
+    pub fn new(net: QuantizedNetwork, pruned: PrunedModel) -> Self {
+        SimEngine { net, pruned }
+    }
+
+    /// The wrapped quantised network.
+    pub fn network(&self) -> &QuantizedNetwork {
+        &self.net
+    }
+}
+
+impl InferenceEngine for SimEngine {
+    fn name(&self) -> &str {
+        "sim"
+    }
+
+    fn infer_batch_into(&mut self, clips: &[Tensor], out: &mut [ClipResult]) {
+        assert_eq!(clips.len(), out.len(), "clips/results length mismatch");
+        let net = &self.net;
+        let pruned = &self.pruned;
+        parallel_chunk_map(out, 1, |idx, slot| {
+            let r = net.forward(&clips[idx], pruned);
+            slot[0].logits.clear();
+            slot[0].logits.extend_from_slice(&r.logits);
+            slot[0].prediction = r.prediction;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_matches_tensor_convention() {
+        // Ties break toward the last maximum, like Tensor::argmax.
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 0.0]), 2);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, -1.0]), 1);
+        assert_eq!(argmax(&[]), 0);
+        let t = Tensor::from_vec([4], vec![1.0, 3.0, 3.0, 0.0]);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 0.0]), t.argmax());
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! Batched, high-throughput inference serving for the 3D-CNN stack.
+//!
+//! The paper's deployment story ends at the accelerator, but measuring
+//! it honestly needs a host-side serving layer: this crate batches clip
+//! requests, fans them out clip-parallel across worker replicas, and
+//! reuses every per-layer activation/im2col buffer across forwards so
+//! the steady-state hot path performs no heap allocation.
+//!
+//! Two backends sit behind one [`InferenceEngine`] trait:
+//!
+//! * [`F32Engine`] — the float reference network from `p3d-nn`, run
+//!   through the arena evaluation path ([`p3d_nn::EvalArena`]); one
+//!   network replica + arena per worker.
+//! * [`SimEngine`] — the Q7.8 accelerator simulator from `p3d-fpga`,
+//!   with block-enable maps from a pruned-model artifact.
+//!
+//! Both are deterministic: outputs are bitwise identical across
+//! `P3D_THREADS` settings and identical to a per-clip sequential
+//! forward, because each clip is computed in full by exactly one worker
+//! with a fixed expression order and results are collected by index.
+//!
+//! # Example
+//!
+//! ```
+//! use p3d_infer::{BatchScheduler, F32Engine, InferenceEngine};
+//! use p3d_nn::{Conv3d, GlobalAvgPool, Linear, Relu, Sequential};
+//! use p3d_tensor::TensorRng;
+//!
+//! let build = || {
+//!     let mut rng = TensorRng::seed(7); // same seed => identical replicas
+//!     Sequential::new()
+//!         .push(Conv3d::new("c", 4, 1, (1, 3, 3), (1, 1, 1), (0, 1, 1), true, &mut rng))
+//!         .push(Relu::new())
+//!         .push(GlobalAvgPool::new())
+//!         .push(Linear::new("fc", 3, 4, true, &mut rng))
+//! };
+//! let mut engine = F32Engine::new(2, build);
+//! let mut sched = BatchScheduler::new(8);
+//! let mut rng = TensorRng::seed(1);
+//! for _ in 0..5 {
+//!     sched.submit(rng.uniform_tensor([1, 4, 8, 8], -1.0, 1.0)); // [C, D, H, W]
+//! }
+//! let run = sched.drain(&mut engine);
+//! assert_eq!(run.results.len(), 5);
+//! assert!(run.results.iter().all(|r| r.logits.len() == 3));
+//! ```
+
+pub mod engine;
+pub mod scheduler;
+pub mod stats;
+
+pub use engine::{argmax, ClipResult, F32Engine, InferenceEngine, SimEngine};
+pub use scheduler::{BatchScheduler, StreamRun};
+pub use stats::{percentile, LatencyStats};

@@ -1,0 +1,77 @@
+//! Latency/throughput accounting for batched inference runs.
+
+/// Latency percentiles over one stream run, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Median request latency.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency.
+    pub p99_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Worst observed latency.
+    pub max_ms: f64,
+}
+
+/// Nearest-rank percentile (inclusive): the smallest value such that at
+/// least `p`% of samples are `<=` it. `samples` must be sorted ascending.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+impl LatencyStats {
+    /// Computes the summary from raw per-request latencies.
+    pub fn from_latencies_ms(latencies: &[f64]) -> Self {
+        if latencies.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        LatencyStats {
+            p50_ms: percentile(&sorted, 50.0),
+            p95_ms: percentile(&sorted, 95.0),
+            p99_ms: percentile(&sorted, 99.0),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max_ms: *sorted.last().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn small_sample_percentiles() {
+        let v = [3.0];
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 99.0), 3.0);
+        let s = LatencyStats::from_latencies_ms(&[2.0, 1.0, 4.0]);
+        assert_eq!(s.p50_ms, 2.0);
+        assert_eq!(s.max_ms, 4.0);
+        assert!((s.mean_ms - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        assert_eq!(LatencyStats::from_latencies_ms(&[]), LatencyStats::default());
+    }
+}

@@ -1,5 +1,6 @@
 //! Activation layers.
 
+use crate::arena::{BufId, EvalArena};
 use crate::layer::{Layer, Mode, Param};
 use p3d_tensor::Tensor;
 
@@ -48,6 +49,14 @@ impl Layer for Relu {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        // In place; `x.max(0.0)` matches `forward`'s map exactly.
+        for x in arena.buf_mut(input) {
+            *x = x.max(0.0);
+        }
+        input
+    }
 
     fn describe(&self) -> String {
         "relu".to_string()

@@ -1,5 +1,6 @@
 //! Batch normalisation over 3D feature volumes.
 
+use crate::arena::{BufId, EvalArena};
 use crate::layer::{Layer, Mode, Param, ParamKind};
 use p3d_tensor::parallel::{parallel_chunk_map, parallel_zip_chunk_map};
 use p3d_tensor::Tensor;
@@ -78,7 +79,10 @@ impl BatchNorm3d {
     }
 
     fn stats_shape(input: &Tensor) -> (usize, usize, usize) {
-        let s = input.shape();
+        Self::stats_shape_of(input.shape())
+    }
+
+    fn stats_shape_of(s: p3d_tensor::Shape) -> (usize, usize, usize) {
         assert_eq!(s.rank(), 5, "batchnorm expects [B, C, D, H, W], got {s}");
         let (b, c) = (s.dim(0), s.dim(1));
         let spatial = s.dim(2) * s.dim(3) * s.dim(4);
@@ -220,6 +224,33 @@ impl Layer for BatchNorm3d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.gamma);
         f(&mut self.beta);
+    }
+
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        // In place, per channel, with running statistics — the same
+        // scalar expressions as the Eval branch of `forward`
+        // (`n = (x - mean) * inv_std; y = gamma * n + beta`), so outputs
+        // are bitwise identical while touching no heap.
+        let shape = arena.shape(input);
+        let (b, c, spatial) = Self::stats_shape_of(shape);
+        assert_eq!(c, self.channels(), "batchnorm channel mismatch");
+        let rm = self.running_mean.data();
+        let rv = self.running_var.data();
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        let eps = self.eps;
+        let data = arena.buf_mut(input);
+        for plane in 0..b * c {
+            let ch = plane % c;
+            let m = rm[ch];
+            let is = 1.0 / (rv[ch] + eps).sqrt();
+            let (g, be) = (gamma[ch], beta[ch]);
+            for x in &mut data[plane * spatial..(plane + 1) * spatial] {
+                let n = (*x - m) * is;
+                *x = g * n + be;
+            }
+        }
+        input
     }
 
     fn export_state(&self, f: &mut dyn FnMut(&str, &Tensor)) {

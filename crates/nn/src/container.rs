@@ -1,5 +1,6 @@
 //! Layer containers: sequential chains and residual blocks.
 
+use crate::arena::{BufId, EvalArena};
 use crate::layer::{Layer, Mode, Param};
 use p3d_tensor::Tensor;
 
@@ -75,6 +76,14 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             layer.import_state(get);
         }
+    }
+
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        let mut cur = input;
+        for layer in &mut self.layers {
+            cur = layer.eval_into(arena, cur);
+        }
+        cur
     }
 
     fn describe(&self) -> String {
@@ -179,6 +188,34 @@ impl Layer for ResidualBlock {
         if let Some(s) = &mut self.shortcut {
             s.import_state(get);
         }
+    }
+
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        // Keep a copy of the input for the shortcut path; `main` may
+        // consume (release or mutate) the original buffer.
+        let saved = arena.duplicate(input);
+        let main_out = self.main.eval_into(arena, input);
+        let short_out = match &mut self.shortcut {
+            Some(s) => s.eval_into(arena, saved),
+            None => saved,
+        };
+        assert_eq!(
+            arena.shape(main_out),
+            arena.shape(short_out),
+            "residual add shape mismatch: main {} vs shortcut {}",
+            arena.shape(main_out),
+            arena.shape(short_out)
+        );
+        {
+            // `(m + s).max(0.0)` element-wise matches `&main + &short`
+            // followed by `map(|x| x.max(0.0))` in `forward`.
+            let (s, m) = arena.pair(short_out, main_out);
+            for (mv, &sv) in m.iter_mut().zip(s.iter()) {
+                *mv = (*mv + sv).max(0.0);
+            }
+        }
+        arena.release(short_out);
+        main_out
     }
 
     fn describe(&self) -> String {

@@ -1,9 +1,10 @@
 //! 3D convolution layer with im2col-based forward and backward passes.
 
-use crate::im2col::{col2im, im2col, ConvGeometry};
+use crate::arena::{BufId, EvalArena};
+use crate::im2col::{col2im, im2col, im2col_into, ConvGeometry};
 use crate::layer::{Layer, Mode, Param, ParamKind};
 use p3d_tensor::parallel::{parallel_chunk_map, parallel_chunk_map_collect};
-use p3d_tensor::{Shape, Tensor, TensorRng};
+use p3d_tensor::{gemm_into, Shape, Tensor, TensorRng};
 
 /// A 3D convolution: weights `[M, N, Kd, Kr, Kc]`, optional bias `[M]`.
 ///
@@ -229,6 +230,45 @@ impl Layer for Conv3d {
         if let Some(b) = &mut self.bias {
             f(b);
         }
+    }
+
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        let in_shape = arena.shape(input);
+        let geom = self.geometry(in_shape);
+        let batch = in_shape.dim(0);
+        let m = self.out_channels();
+        let (od, oh, ow) = geom.output();
+        let per_in = in_shape.len() / batch;
+        let rows = geom.col_rows();
+        let cols_n = geom.col_cols();
+        let per_out = m * cols_n;
+
+        let out = arena.acquire(Shape::d5(batch, m, od, oh, ow));
+        arena.ensure_scratch(rows * cols_n);
+        // The weight tensor is row-major [M, N, Kd, Kr, Kc], i.e. already
+        // the [M, rows] matrix `forward` obtains by reshape (which
+        // clones); here it is used directly — no per-forward copy.
+        let w = self.weight.value.data();
+        let bias_data = self.bias.as_ref().map(|b| b.value.data());
+        let (src, scratch, dst) = arena.conv_views(input, out, rows * cols_n);
+        // Serial over clips: the batched engine parallelises over clips
+        // one level up (one worker per clip), and each clip's arithmetic
+        // here is identical to `forward`'s per-clip kernel, so outputs
+        // are bitwise equal to the allocating path.
+        for b in 0..batch {
+            im2col_into(&src[b * per_in..(b + 1) * per_in], &geom, scratch);
+            let dst_b = &mut dst[b * per_out..(b + 1) * per_out];
+            gemm_into(w, m, rows, scratch, cols_n, dst_b);
+            if let Some(bd) = bias_data {
+                for (ch, &bv) in bd.iter().enumerate() {
+                    for x in &mut dst_b[ch * cols_n..(ch + 1) * cols_n] {
+                        *x += bv;
+                    }
+                }
+            }
+        }
+        arena.release(input);
+        out
     }
 
     fn describe(&self) -> String {

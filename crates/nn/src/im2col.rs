@@ -55,6 +55,25 @@ impl ConvGeometry {
 /// Unfolds one `[N, Di, Hi, Wi]` volume (flat slice) into a column matrix
 /// `[N*Kd*Kr*Kc, Do*Ho*Wo]`. Out-of-bounds (padding) positions read zero.
 pub fn im2col(input: &[f32], geom: &ConvGeometry) -> Tensor {
+    let rows = geom.col_rows();
+    let cols = geom.col_cols();
+    let mut out = vec![0.0f32; rows * cols];
+    im2col_into(input, geom, &mut out);
+    Tensor::from_vec(Shape::d2(rows, cols), out)
+}
+
+/// Allocation-free [`im2col`] into a caller-provided buffer of length
+/// `col_rows() * col_cols()`.
+///
+/// Every position is written — padding positions get an **explicit**
+/// zero rather than relying on a pre-zeroed buffer — so a scratch buffer
+/// reused across forwards (the inference arena's steady state) needs no
+/// clearing between calls.
+///
+/// # Panics
+///
+/// Panics if `out` has the wrong length.
+pub fn im2col_into(input: &[f32], geom: &ConvGeometry, out: &mut [f32]) {
     let (n, (di, hi, wi)) = (geom.channels, geom.input);
     let (kd, kr, kc) = geom.kernel;
     let (sd, sr, sc) = geom.stride;
@@ -62,9 +81,12 @@ pub fn im2col(input: &[f32], geom: &ConvGeometry) -> Tensor {
     let (od, oh, ow) = geom.output();
     debug_assert_eq!(input.len(), n * di * hi * wi);
 
-    let rows = geom.col_rows();
     let cols = geom.col_cols();
-    let mut out = vec![0.0f32; rows * cols];
+    assert_eq!(
+        out.len(),
+        geom.col_rows() * cols,
+        "im2col_into: out buffer length mismatch"
+    );
 
     let mut row = 0usize;
     for ch in 0..n {
@@ -81,15 +103,18 @@ pub fn im2col(input: &[f32], geom: &ConvGeometry) -> Tensor {
                             let h = (oh_i * sr + kr_i) as isize - pr as isize;
                             let h_ok = h >= 0 && (h as usize) < hi;
                             if !(d_ok && h_ok) {
+                                out[row_base + col..row_base + col + ow].fill(0.0);
                                 col += ow;
                                 continue;
                             }
                             let plane = ch_base + d as usize * hi * wi + h as usize * wi;
                             for ow_i in 0..ow {
                                 let w = (ow_i * sc + kc_i) as isize - pc as isize;
-                                if w >= 0 && (w as usize) < wi {
-                                    out[row_base + col] = input[plane + w as usize];
-                                }
+                                out[row_base + col] = if w >= 0 && (w as usize) < wi {
+                                    input[plane + w as usize]
+                                } else {
+                                    0.0
+                                };
                                 col += 1;
                             }
                         }
@@ -99,7 +124,6 @@ pub fn im2col(input: &[f32], geom: &ConvGeometry) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(Shape::d2(rows, cols), out)
 }
 
 /// Adjoint of [`im2col`]: scatter-adds a column-matrix gradient back into
@@ -224,6 +248,24 @@ mod tests {
         let cols = im2col(&input, &g);
         assert_eq!(cols.shape().dims(), &[2, 2]);
         assert_eq!(cols.data(), &[10., 20., 20., 30.]);
+    }
+
+    #[test]
+    fn im2col_into_overwrites_stale_buffer() {
+        // A reused (dirty) buffer must produce exactly the same matrix as
+        // a fresh allocation — padding positions are written explicitly.
+        let g = ConvGeometry {
+            channels: 2,
+            input: (2, 3, 3),
+            kernel: (2, 2, 2),
+            stride: (1, 1, 1),
+            pad: (1, 1, 1),
+        };
+        let input: Vec<f32> = (0..2 * 2 * 3 * 3).map(|x| x as f32 - 7.0).collect();
+        let fresh = im2col(&input, &g);
+        let mut dirty = vec![f32::NAN; g.col_rows() * g.col_cols()];
+        im2col_into(&input, &g, &mut dirty);
+        assert_eq!(dirty.as_slice(), fresh.data());
     }
 
     #[test]

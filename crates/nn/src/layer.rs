@@ -1,6 +1,7 @@
 //! The layer abstraction: parameters, forward/backward, and parameter
 //! visitation.
 
+use crate::arena::{BufId, EvalArena};
 use p3d_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -120,7 +121,11 @@ impl Param {
 /// called before `backward`; `backward` consumes the cached activations,
 /// accumulates parameter gradients, and returns the gradient with respect
 /// to the layer input.
-pub trait Layer {
+///
+/// `Send` is a supertrait so whole networks can move between (or be
+/// replicated across) inference worker threads; layer state is plain
+/// owned data, so every implementation satisfies it automatically.
+pub trait Layer: Send {
     /// Computes the layer output for `input`.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 
@@ -152,6 +157,31 @@ pub trait Layer {
         &mut self,
         _get: &mut dyn FnMut(&str, &p3d_tensor::Shape) -> Option<Tensor>,
     ) {
+    }
+
+    /// Evaluation-mode forward through a preallocated buffer arena: reads
+    /// the activation in `input`, writes the layer output into an arena
+    /// buffer, and returns its id. The input buffer is released (or
+    /// reused in place) — callers must not read it afterwards.
+    ///
+    /// **Contract:** outputs must be bitwise identical to
+    /// `forward(input, Mode::Eval)` — same expressions, same evaluation
+    /// order — so the batched inference engine can guarantee equality
+    /// with the per-clip sequential path.
+    ///
+    /// The default implementation falls back to the allocating
+    /// [`Layer::forward`] (and records the fact via
+    /// [`EvalArena::note_fallback`]), so external `Layer` impls keep
+    /// working unchanged; the built-in layers override it with
+    /// allocation-free kernels.
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        arena.note_fallback();
+        let x = Tensor::from_vec(arena.shape(input), arena.buf(input).to_vec());
+        arena.release(input);
+        let y = self.forward(&x, Mode::Eval);
+        let out = arena.acquire(y.shape());
+        arena.buf_mut(out).copy_from_slice(y.data());
+        out
     }
 
     /// A short human-readable description, e.g. `"conv3d(16->32, 1x3x3)"`.

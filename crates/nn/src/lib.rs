@@ -39,6 +39,7 @@
 //! ```
 
 pub mod activation;
+pub mod arena;
 pub mod batchnorm;
 pub mod checkpoint;
 pub mod container;
@@ -56,6 +57,7 @@ pub mod train_state;
 pub mod trainer;
 
 pub use activation::Relu;
+pub use arena::{ArenaStats, BufId, EvalArena};
 pub use batchnorm::BatchNorm3d;
 pub use checkpoint::{Checkpoint, RestoreReport};
 pub use container::{ResidualBlock, Sequential};

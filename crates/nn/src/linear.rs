@@ -1,7 +1,8 @@
 //! Fully-connected layer and the flatten adapter.
 
+use crate::arena::{BufId, EvalArena};
 use crate::layer::{Layer, Mode, Param, ParamKind};
-use p3d_tensor::{Shape, Tensor, TensorRng};
+use p3d_tensor::{gemm_nt_into, Shape, Tensor, TensorRng};
 
 /// A fully-connected layer: `y = x W^T + b`, weight `[out, in]`.
 pub struct Linear {
@@ -101,6 +102,38 @@ impl Layer for Linear {
         }
     }
 
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        let s = arena.shape(input);
+        assert_eq!(s.rank(), 2, "linear expects [B, in]");
+        let b = s.dim(0);
+        let i = self.in_features();
+        let o = self.out_features();
+        assert_eq!(
+            s.dim(1),
+            i,
+            "linear {} expects {} inputs, got {}",
+            self.weight.name,
+            i,
+            s.dim(1)
+        );
+        let out = arena.acquire(Shape::d2(b, o));
+        {
+            let (src, dst) = arena.pair(input, out);
+            // `gemm_nt_into` accumulates in the same order as `matmul_nt`,
+            // so values match `forward` bitwise.
+            gemm_nt_into(src, b, i, self.weight.value.data(), o, dst);
+            if let Some(bias) = &self.bias {
+                for bi in 0..b {
+                    for (j, &bv) in bias.value.data().iter().enumerate() {
+                        dst[bi * o + j] += bv;
+                    }
+                }
+            }
+        }
+        arena.release(input);
+        out
+    }
+
     fn describe(&self) -> String {
         format!("linear({}->{})", self.in_features(), self.out_features())
     }
@@ -142,6 +175,14 @@ impl Layer for Flatten {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        // Pure metadata change: relabel the buffer's shape in place.
+        let s = arena.shape(input);
+        let b = s.dim(0);
+        arena.set_shape(input, Shape::d2(b, s.len() / b));
+        input
+    }
 
     fn describe(&self) -> String {
         "flatten".to_string()

@@ -1,6 +1,7 @@
 //! 3D pooling layers: max pooling, average pooling, and the global
 //! spatio-temporal average pool that closes both R(2+1)D and C3D.
 
+use crate::arena::{BufId, EvalArena};
 use crate::layer::{Layer, Mode, Param};
 use p3d_tensor::parallel::{parallel_chunk_map, parallel_zip_chunk_map};
 use p3d_tensor::{Shape, Tensor};
@@ -118,6 +119,50 @@ impl Layer for MaxPool3d {
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        let s = arena.shape(input);
+        let (b, c, od, oh, ow) = self.out_shape(s);
+        let (di, hi, wi) = (s.dim(2), s.dim(3), s.dim(4));
+        let (kd, kr, kc) = self.kernel;
+        let (sd, sr, sc) = self.stride;
+        let out = arena.acquire(Shape::d5(b, c, od, oh, ow));
+        let (data, out_data) = arena.pair(input, out);
+        let plane_out = od * oh * ow;
+        let plane_in = di * hi * wi;
+        // Same comparison loop as `forward` (argmax bookkeeping elided —
+        // it does not affect values), serial over planes: per-element
+        // arithmetic is plane-local, so values are bitwise identical.
+        for plane in 0..b * c {
+            let base = plane * plane_in;
+            let out_plane = &mut out_data[plane * plane_out..(plane + 1) * plane_out];
+            let mut oi = 0usize;
+            for odi in 0..od {
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for kdi in 0..kd {
+                            let d = odi * sd + kdi;
+                            for kri in 0..kr {
+                                let h = ohi * sr + kri;
+                                let row = base + d * hi * wi + h * wi + owi * sc;
+                                for kci in 0..kc {
+                                    let off = row + kci;
+                                    if data[off] > best {
+                                        best = data[off];
+                                    }
+                                }
+                            }
+                        }
+                        out_plane[oi] = best;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        arena.release(input);
+        out
+    }
+
     fn describe(&self) -> String {
         format!("maxpool3d({:?}/{:?})", self.kernel, self.stride)
     }
@@ -183,6 +228,26 @@ impl Layer for GlobalAvgPool {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        let s = arena.shape(input);
+        assert_eq!(s.rank(), 5, "global avg pool expects rank-5, got {s}");
+        let (b, c) = (s.dim(0), s.dim(1));
+        let spatial = s.dim(2) * s.dim(3) * s.dim(4);
+        let out = arena.acquire(Shape::d2(b, c));
+        let (data, out_data) = arena.pair(input, out);
+        // Same reduction expression as `forward` (`sum::<f32>() /
+        // spatial as f32`), serial over rows.
+        for bi in 0..b {
+            for ch in 0..c {
+                let base = (bi * c + ch) * spatial;
+                out_data[bi * c + ch] =
+                    data[base..base + spatial].iter().sum::<f32>() / spatial as f32;
+            }
+        }
+        arena.release(input);
+        out
+    }
 
     fn describe(&self) -> String {
         "global_avg_pool".to_string()

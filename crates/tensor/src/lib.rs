@@ -39,4 +39,4 @@ pub mod tensor;
 pub use fixed::{Fixed16, FixedTensor};
 pub use rng::TensorRng;
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{gemm_into, gemm_nt_into, Tensor};

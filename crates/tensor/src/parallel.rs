@@ -307,6 +307,74 @@ pub fn parallel_zip_chunk_map<A, B, F>(
     });
 }
 
+/// Like [`parallel_chunk_map`] but each worker additionally owns one
+/// element of `states` — mutable per-worker scratch (e.g. an inference
+/// engine's network replica + buffer arena) that persists across the
+/// chunks that worker processes.
+///
+/// The effective worker count is `min(max_threads(), states.len(),
+/// n_chunks)`; chunk indices are global and stable, and each worker owns
+/// a contiguous run of chunks, exactly as in `parallel_chunk_map`.
+///
+/// **Determinism contract:** callers must ensure `f`'s effect on a chunk
+/// is independent of *which* state instance processes it (replica
+/// states). Under that contract, outputs are bitwise identical for any
+/// thread count, because the chunk→output mapping is fixed.
+///
+/// The serial path (one worker) runs inline on the caller's thread and
+/// performs **zero heap allocations** — this is the steady-state hot
+/// path of the batched inference engine.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` while `data` is non-empty, or if `states`
+/// is empty.
+pub fn parallel_worker_chunks<T, S, F>(data: &mut [T], chunk_len: usize, states: &mut [S], f: F)
+where
+    T: Send,
+    S: Send,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert!(!states.is_empty(), "need at least one worker state");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = max_threads().min(states.len()).min(n_chunks);
+    if workers <= 1 {
+        let state = &mut states[0];
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(state, ci, chunk);
+        }
+        return;
+    }
+    let ranges = split_ranges(n_chunks, workers);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut states_rest = states;
+        let mut consumed = 0usize;
+        for range in ranges {
+            let items = ((range.end * chunk_len).min(consumed + rest.len())) - consumed;
+            let (mine, tail) = rest.split_at_mut(items);
+            rest = tail;
+            consumed += items;
+            let (state_head, state_tail) = states_rest.split_at_mut(1);
+            states_rest = state_tail;
+            let state = &mut state_head[0];
+            let f = &f;
+            let first_chunk = range.start;
+            scope.spawn(move || {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                for (k, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+                    f(state, first_chunk + k, chunk);
+                }
+                IN_PARALLEL_WORKER.with(|flag| flag.set(false));
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +463,43 @@ mod tests {
             assert_eq!(a, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
             assert_eq!(b, vec![0, 0, 10, 10, 20, 20]);
         }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn worker_chunks_deterministic_and_state_scoped() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let mut reference: Option<Vec<usize>> = None;
+        for threads in [1, 2, 8] {
+            set_thread_override(Some(threads));
+            // Each state counts how many chunks its worker processed;
+            // outputs depend only on the chunk index, not the state.
+            let mut states = vec![0usize; 3];
+            let mut data = vec![0usize; 11];
+            parallel_worker_chunks(&mut data, 2, &mut states, |s, ci, chunk| {
+                *s += 1;
+                for x in chunk.iter_mut() {
+                    *x = ci * 10;
+                }
+            });
+            // Every chunk processed exactly once.
+            assert_eq!(states.iter().sum::<usize>(), 6);
+            match &reference {
+                None => reference = Some(data),
+                Some(r) => assert_eq!(&data, r, "threads={threads} diverged"),
+            }
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn worker_chunks_serial_uses_first_state() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(1));
+        let mut states = vec![0usize; 4];
+        let mut data = vec![0u8; 5];
+        parallel_worker_chunks(&mut data, 1, &mut states, |s, _ci, _chunk| *s += 1);
+        assert_eq!(states, vec![5, 0, 0, 0]);
         set_thread_override(None);
     }
 

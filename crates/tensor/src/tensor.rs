@@ -377,11 +377,32 @@ const GEMM_PARALLEL_MIN_ROWS: usize = 8;
 /// every row's arithmetic is identical regardless of thread count, so
 /// results are bitwise-reproducible across `P3D_THREADS` settings.
 fn gemm_zero_skip(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Tensor {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
     let mut out = vec![0.0f32; m * n];
+    gemm_into(a, m, k, b, n, &mut out);
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// Allocation-free GEMM into a caller-provided buffer:
+/// `[m, k] (row-major a) x [k, n] (row-major b) -> out [m, n]`.
+///
+/// This is the exact kernel behind [`Tensor::matmul`] — same loop order
+/// (`i / jb / p / j`), same cache blocking, same left-operand
+/// **zero-skip contract** — exposed for the inference engine's
+/// preallocated-arena hot path, where the output buffer is reused across
+/// forwards. `out` is fully overwritten (zeroed first), so stale
+/// contents of a reused buffer never leak through. Results are
+/// bitwise identical to `matmul` at any `P3D_THREADS`.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_into: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_into: out length mismatch");
+    out.fill(0.0);
     if m == 0 || n == 0 {
-        return Tensor::from_vec(Shape::d2(m, n), out);
+        return;
     }
 
     let row_kernel = |i: usize, o_row: &mut [f32]| {
@@ -403,13 +424,61 @@ fn gemm_zero_skip(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Tensor 
     };
 
     if m >= GEMM_PARALLEL_MIN_ROWS {
-        crate::parallel::parallel_chunk_map(&mut out, n, row_kernel);
+        crate::parallel::parallel_chunk_map(out, n, row_kernel);
     } else {
         for (i, o_row) in out.chunks_mut(n).enumerate() {
             row_kernel(i, o_row);
         }
     }
-    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// Allocation-free `A * B^T` into a caller-provided buffer:
+/// `[m, k] (row-major a) x [n, k] (row-major b_nk) -> out [m, n]`.
+///
+/// Unlike [`Tensor::matmul_nt`], which materialises `B^T` once and then
+/// runs the shared kernel, this variant reads `b_nk[j * k + p]` directly
+/// (`b_nk[j*k + p] == bt[p*n + j]`), so no transpose buffer is
+/// allocated. The accumulation order is identical to `matmul_nt`'s —
+/// column block by column block, `p` outer, `j` inner — so outputs are
+/// **bitwise identical** to `matmul_nt`. The zero-skip contract (left
+/// operand) is preserved.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_nt_into(a: &[f32], m: usize, k: usize, b_nk: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt_into: lhs length mismatch");
+    assert_eq!(b_nk.len(), n * k, "gemm_nt_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_nt_into: out length mismatch");
+    out.fill(0.0);
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let row_kernel = |i: usize, o_row: &mut [f32]| {
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut jb = 0;
+        while jb < n {
+            let je = (jb + GEMM_COL_BLOCK).min(n);
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // zero-skip: pruned left entry, block never multiplied
+                }
+                for (j, o) in o_row[jb..je].iter_mut().enumerate() {
+                    *o += av * b_nk[(jb + j) * k + p];
+                }
+            }
+            jb = je;
+        }
+    };
+
+    if m >= GEMM_PARALLEL_MIN_ROWS {
+        crate::parallel::parallel_chunk_map(out, n, row_kernel);
+    } else {
+        for (i, o_row) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, o_row);
+        }
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -615,6 +684,47 @@ mod tests {
         let a = Tensor::from_vec([1, 2], vec![f32::NAN, 1.0]);
         let b = Tensor::from_vec([2, 1], vec![0.0, 1.0]);
         assert!(a.matmul(&b).data()[0].is_nan());
+    }
+
+    #[test]
+    fn gemm_into_bitwise_matches_matmul() {
+        use crate::rng::TensorRng;
+        let mut rng = TensorRng::seed(77);
+        for (m, k, n) in [(1, 5, 3), (4, 7, 9), (12, 3, 300), (9, 16, 257)] {
+            let a = rng.uniform_tensor([m, k], -1.0, 1.0);
+            let b = rng.uniform_tensor([k, n], -1.0, 1.0);
+            let reference = a.matmul(&b);
+            let mut out = vec![f32::NAN; m * n]; // stale garbage must be overwritten
+            gemm_into(a.data(), m, k, b.data(), n, &mut out);
+            assert_eq!(out.as_slice(), reference.data(), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_into_bitwise_matches_matmul_nt() {
+        use crate::rng::TensorRng;
+        let mut rng = TensorRng::seed(78);
+        for (m, k, n) in [(1, 6, 4), (5, 11, 8), (10, 4, 300)] {
+            let a = rng.uniform_tensor([m, k], -1.0, 1.0);
+            let b = rng.uniform_tensor([n, k], -1.0, 1.0);
+            let reference = a.matmul_nt(&b);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_nt_into(a.data(), m, k, b.data(), n, &mut out);
+            assert_eq!(out.as_slice(), reference.data(), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn gemm_into_zero_skip_contract() {
+        // An exactly-zero left entry never touches the right operand.
+        let a = [0.0f32, 2.0];
+        let b = [f32::NAN, 1.0]; // row 0 of b is opposite the zero
+        let mut out = [0.0f32];
+        gemm_into(&a, 1, 2, &b, 1, &mut out);
+        assert_eq!(out[0], 2.0);
+        let b_nk = [f32::NAN, 1.0]; // b_nk[0*2+0] = NaN opposite zero
+        gemm_nt_into(&a, 1, 2, &b_nk, 1, &mut out);
+        assert_eq!(out[0], 2.0);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Property-based differential tests for the Q7.8 fixed-point datapath:
+//! `Fixed16` conversion/arithmetic against exact integer references, and
+//! `MacAccumulator` against a plain `i64` sum of products.
+
+use p3d_tensor::fixed::{MacAccumulator, FRAC_BITS, SCALE};
+use p3d_tensor::{Fixed16, FixedTensor, Tensor};
+use proptest::prelude::*;
+
+/// The exact Q7.8 result of a wide value: round-half-up then clamp —
+/// the contract both `saturating_mul` and `MacAccumulator::finish`
+/// promise, expressed once in `i64`.
+fn round_clamp_q78(wide: i64) -> i16 {
+    let rounded = (wide + (1 << (FRAC_BITS - 1))) >> FRAC_BITS;
+    rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16
+}
+
+fn bits_strategy() -> impl Strategy<Value = i16> {
+    (i16::MIN as i32..=i16::MAX as i32).prop_map(|b| b as i16)
+}
+
+proptest! {
+    #[test]
+    fn to_f32_from_f32_roundtrip_is_identity(bits in bits_strategy()) {
+        // Every representable Q7.8 value survives a float round trip
+        // bit-exactly: `to_f32` is exact and `from_f32` re-scales to the
+        // same integer.
+        let x = Fixed16::from_bits(bits);
+        prop_assert_eq!(Fixed16::from_f32(x.to_f32()), x);
+    }
+
+    #[test]
+    fn from_f32_error_within_half_ulp(x in -128.0f32..127.996) {
+        // Round-to-nearest: at most half an ULP (1/512) of error for
+        // in-range inputs (small slack for the f32 scale multiply).
+        let q = Fixed16::from_f32(x);
+        let err = (q.to_f32() - x).abs();
+        prop_assert!(
+            err <= FixedTensor::half_ulp() * 1.01,
+            "error {} above half ULP for {}", err, x
+        );
+    }
+
+    #[test]
+    fn addition_matches_clamped_integer_reference(a in bits_strategy(), b in bits_strategy()) {
+        let ideal = a as i32 + b as i32;
+        let got = (Fixed16::from_bits(a) + Fixed16::from_bits(b)).to_bits() as i32;
+        prop_assert_eq!(got, ideal.clamp(i16::MIN as i32, i16::MAX as i32));
+        // Subtraction rides the same saturating path.
+        let ideal_sub = a as i32 - b as i32;
+        let got_sub = (Fixed16::from_bits(a) - Fixed16::from_bits(b)).to_bits() as i32;
+        prop_assert_eq!(got_sub, ideal_sub.clamp(i16::MIN as i32, i16::MAX as i32));
+    }
+
+    #[test]
+    fn multiplication_matches_rounded_clamped_reference(a in bits_strategy(), b in bits_strategy()) {
+        let ideal = round_clamp_q78(a as i64 * b as i64);
+        let got = (Fixed16::from_bits(a) * Fixed16::from_bits(b)).to_bits();
+        prop_assert_eq!(got, ideal);
+    }
+
+    #[test]
+    fn negation_saturates_only_at_min(bits in bits_strategy()) {
+        let got = (-Fixed16::from_bits(bits)).to_bits() as i32;
+        let ideal = (-(bits as i32)).clamp(i16::MIN as i32, i16::MAX as i32);
+        prop_assert_eq!(got, ideal);
+    }
+
+    #[test]
+    fn accumulator_matches_i64_reference_exactly(
+        pairs in prop::collection::vec(
+            ((i16::MIN as i32..=i16::MAX as i32), (i16::MIN as i32..=i16::MAX as i32)),
+            1..64,
+        ),
+        init in bits_strategy(),
+    ) {
+        // The wide register must hold the sum of full-precision products
+        // exactly — no intermediate rounding or saturation at all.
+        let mut acc = MacAccumulator::new();
+        let mut reference: i64 = 0;
+        for &(a, b) in &pairs {
+            acc.mac(Fixed16::from_bits(a as i16), Fixed16::from_bits(b as i16));
+            reference += a as i64 * b as i64;
+        }
+        prop_assert_eq!(acc.raw(), reference);
+        prop_assert_eq!(acc.finish().to_bits(), round_clamp_q78(reference));
+
+        // Seeding from a Q7.8 partial sum shifts it up exactly.
+        let mut seeded = MacAccumulator::from_fixed(Fixed16::from_bits(init));
+        for &(a, b) in &pairs {
+            seeded.mac(Fixed16::from_bits(a as i16), Fixed16::from_bits(b as i16));
+        }
+        prop_assert_eq!(seeded.raw(), ((init as i64) << FRAC_BITS) + reference);
+
+        // Adder-tree combination: splitting the MACs across two
+        // accumulators and adding them is exact too.
+        let mid = pairs.len() / 2;
+        let mut left = MacAccumulator::new();
+        let mut right = MacAccumulator::new();
+        for &(a, b) in &pairs[..mid] {
+            left.mac(Fixed16::from_bits(a as i16), Fixed16::from_bits(b as i16));
+        }
+        for &(a, b) in &pairs[mid..] {
+            right.mac(Fixed16::from_bits(a as i16), Fixed16::from_bits(b as i16));
+        }
+        left.add(right);
+        prop_assert_eq!(left.raw(), reference);
+    }
+
+    #[test]
+    fn quantize_dequantize_within_half_ulp(
+        xs in prop::collection::vec(-127.9f32..127.9, 1..64),
+    ) {
+        let t = Tensor::from_vec([xs.len()], xs.clone());
+        let q = FixedTensor::quantize(&t);
+        let d = q.dequantize();
+        for (orig, deq) in xs.iter().zip(d.data()) {
+            prop_assert!((orig - deq).abs() <= FixedTensor::half_ulp() * 1.01);
+        }
+    }
+}
+
+#[test]
+fn saturation_at_both_rails() {
+    // Addition rails.
+    assert_eq!(Fixed16::MAX + Fixed16::MAX, Fixed16::MAX);
+    assert_eq!(Fixed16::MIN + Fixed16::MIN, Fixed16::MIN);
+    assert_eq!(Fixed16::MAX + Fixed16::from_bits(1), Fixed16::MAX);
+    assert_eq!(Fixed16::MIN - Fixed16::from_bits(1), Fixed16::MIN);
+    // Multiplication rails: MIN*MIN is the largest positive product.
+    assert_eq!(Fixed16::MAX * Fixed16::MAX, Fixed16::MAX);
+    assert_eq!(Fixed16::MIN * Fixed16::MIN, Fixed16::MAX);
+    assert_eq!(Fixed16::MIN * Fixed16::MAX, Fixed16::MIN);
+    assert_eq!(Fixed16::MAX * Fixed16::MIN, Fixed16::MIN);
+    // Negation saturates only at MIN (two's complement asymmetry).
+    assert_eq!(-Fixed16::MIN, Fixed16::MAX);
+    assert_eq!((-Fixed16::MAX).to_bits(), i16::MIN + 1);
+    // Accumulator saturates only at `finish`.
+    let mut acc = MacAccumulator::new();
+    for _ in 0..64 {
+        acc.mac(Fixed16::MAX, Fixed16::MAX); // far beyond the Q7.8 range
+    }
+    assert_eq!(acc.finish(), Fixed16::MAX);
+    let mut acc = MacAccumulator::new();
+    for _ in 0..64 {
+        acc.mac(Fixed16::MIN, Fixed16::MAX);
+    }
+    assert_eq!(acc.finish(), Fixed16::MIN);
+    // Conversion rails.
+    assert_eq!(Fixed16::from_f32(1e9), Fixed16::MAX);
+    assert_eq!(Fixed16::from_f32(-1e9), Fixed16::MIN);
+    assert_eq!(Fixed16::from_f32(f32::NAN), Fixed16::ZERO);
+}
+
+#[test]
+fn scale_constant_consistent() {
+    assert_eq!(SCALE, 256.0);
+    assert_eq!(Fixed16::ONE.to_bits(), 1 << FRAC_BITS);
+    assert_eq!(FixedTensor::half_ulp(), 0.5 / SCALE);
+}

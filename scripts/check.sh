@@ -30,4 +30,24 @@ cargo test -q -p p3d-nn --test checkpoint_fuzz
 echo "==> kill-and-resume bitwise equivalence"
 cargo test -q -p p3d-core --test resume
 
+# The inference-engine merge requirements, named for the same reason:
+# the fixed-point datapath property suite, the Q7.8-vs-f32 golden
+# differential conv tests, inference determinism across thread counts,
+# and the zero-allocation steady-state contract. (The
+# BENCH_inference.json smoke emission rides in the p3d-bench unit
+# tests above; the 2x-at-8-threads throughput gate is
+# `-p p3d-bench --test inference_speedup`, also part of
+# `cargo test --workspace`.)
+echo "==> fixed-point datapath properties"
+cargo test -q -p p3d-tensor --test fixed_properties
+
+echo "==> Q7.8 simulator vs f32 conv golden differential"
+cargo test -q -p p3d-fpga --test conv_differential
+
+echo "==> inference determinism under load"
+cargo test -q -p p3d-infer --test determinism
+
+echo "==> zero-allocation steady state"
+cargo test -q -p p3d-infer --test zero_alloc
+
 echo "All checks passed."

@@ -9,6 +9,8 @@
 //!              [--eta2 0.9] [--eta3 0.8] [--retrain N] [--out pruned.ckpt]
 //!              [--save-every N] [--resume] [--state FILE]
 //! p3d simulate --ckpt model.ckpt [--model ...] [--tm 8] [--tn 4]
+//! p3d infer    --ckpt model.ckpt [--model ...] [--clips N] [--batch B]
+//!              [--backend f32|sim|both] [--threads T] [--json FILE]
 //! p3d tables   (prints the paper-table summaries)
 //! ```
 //!
@@ -16,6 +18,7 @@
 //! `--seed`.
 
 use p3d::fpga::{AcceleratorConfig, Ports, QuantizedNetwork, Tiling};
+use p3d::infer::{BatchScheduler, F32Engine, SimEngine, StreamRun};
 use p3d::models::{
     build_network, c3d_lite, r2plus1d_lite, r2plus1d_lite_wide, r2plus1d_micro, NetworkSpec,
 };
@@ -28,6 +31,7 @@ use p3d::pruning::{
     restore_retrain_state, targets_for_stages, AdmmConfig, AdmmProgress, AdmmPruner, BlockShape,
     KeepRule, PrunedModel, RETRAIN_PROGRESS_KEY,
 };
+use p3d::tensor::parallel::{max_threads, set_thread_override};
 use p3d::video_data::{GeneratorConfig, SyntheticVideo};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -69,6 +73,24 @@ impl Args {
             .get(key)
             .cloned()
             .ok_or_else(|| format!("--{key} is required"))
+    }
+
+    /// Rejects any flag outside `known` (flag typos would otherwise be
+    /// silently ignored).
+    fn expect_known(&self, cmd: &str, known: &[&str]) -> Result<(), String> {
+        let mut unknown: Vec<&str> = self
+            .flags
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !known.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        match unknown.first() {
+            Some(k) => Err(format!(
+                "unknown flag --{k} for 'p3d {cmd}' (try 'p3d {cmd} --help')"
+            )),
+            None => Ok(()),
+        }
     }
 }
 
@@ -330,6 +352,134 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+const INFER_USAGE: &str = "usage: p3d infer --ckpt model.ckpt [--model lite|lite-wide|micro|c3d-lite]
+                 [--clips N] [--batch B] [--backend f32|sim|both]
+                 [--threads T] [--seed S] [--tm 8] [--tn 4] [--json FILE]
+
+Streams synthetic test clips through the batched inference engine and
+reports throughput (clips/s), latency percentiles (p50/p95/p99), and
+accuracy for the f32 network and/or the Q7.8 accelerator simulator.
+--json additionally writes the report as a JSON document.";
+
+/// One `backend: {...}` JSON fragment for `--json`.
+fn infer_json_row(backend: &str, run: &StreamRun, accuracy: f64) -> String {
+    let lat = run.latency_stats();
+    format!(
+        "    {{\"backend\": \"{backend}\", \"clips_per_s\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"accuracy\": {:.4}, \"batches\": {}}}",
+        run.clips_per_s(),
+        lat.p50_ms,
+        lat.p95_ms,
+        lat.p99_ms,
+        lat.mean_ms,
+        accuracy,
+        run.batches
+    )
+}
+
+fn cmd_infer(args: &Args) -> Result<(), String> {
+    if args.get("help", false)? {
+        println!("{INFER_USAGE}");
+        return Ok(());
+    }
+    args.expect_known(
+        "infer",
+        &[
+            "help", "model", "ckpt", "clips", "batch", "backend", "threads", "seed", "tm", "tn",
+            "json",
+        ],
+    )?;
+    let model = args.get("model", "lite".to_string())?;
+    let spec = model_spec(&model)?;
+    let clips: usize = args.get("clips", 60)?;
+    let batch: usize = args.get("batch", 8)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let tm: usize = args.get("tm", 8)?;
+    let tn: usize = args.get("tn", 4)?;
+    let threads: usize = args.get("threads", 0)?;
+    let backend = args.get("backend", "both".to_string())?;
+    let json_path = args.get("json", String::new())?;
+    let run_f32 = matches!(backend.as_str(), "f32" | "both");
+    let run_sim = matches!(backend.as_str(), "sim" | "both");
+    if !run_f32 && !run_sim {
+        return Err(format!("unknown backend '{backend}' (expected f32|sim|both)"));
+    }
+    if batch == 0 {
+        return Err("--batch must be positive".into());
+    }
+    if threads > 0 {
+        set_thread_override(Some(threads));
+    }
+    let ckpt = args.required("ckpt")?;
+    // Validates model/checkpoint compatibility before replicating.
+    let mut net = load_into(&spec, &ckpt, seed)?;
+    let (_, test) = dataset_for(&spec, clips, seed);
+    let labels: Vec<usize> = (0..test.len()).map(|i| test.sample(i).1).collect();
+
+    let mut json_rows = Vec::new();
+    // Prints one backend line and returns its JSON row.
+    let report = |name: &str, run: &StreamRun| -> String {
+        let correct = run
+            .results
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &l)| r.prediction == l)
+            .count();
+        let accuracy = correct as f64 / labels.len().max(1) as f64;
+        let lat = run.latency_stats();
+        println!(
+            "{name:>4}: {:>8.1} clips/s | p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms | accuracy {accuracy:.4} ({} clips, batch {batch})",
+            run.clips_per_s(),
+            lat.p50_ms,
+            lat.p95_ms,
+            lat.p99_ms,
+            labels.len(),
+        );
+        infer_json_row(name, run, accuracy)
+    };
+
+    if run_f32 {
+        let replicas = max_threads().min(batch).max(1);
+        let mut engine = F32Engine::new(replicas, || {
+            load_into(&spec, &ckpt, seed).expect("checkpoint validated above")
+        });
+        let mut sched = BatchScheduler::new(batch);
+        for i in 0..test.len() {
+            sched.submit(test.sample(i).0);
+        }
+        let run = sched.drain(&mut engine);
+        json_rows.push(report("f32", &run));
+    }
+    if run_sim {
+        let accel = AcceleratorConfig {
+            tiling: Tiling::new(tm, tn, 2, 8, 8),
+            ports: Ports::new(2, 2, 2),
+            freq_mhz: 150.0,
+            data_bits: 16,
+        };
+        let q = QuantizedNetwork::from_network(&spec, &mut net, accel);
+        let mut engine = SimEngine::new(q, PrunedModel::dense());
+        let mut sched = BatchScheduler::new(batch);
+        for i in 0..test.len() {
+            sched.submit(test.sample(i).0);
+        }
+        let run = sched.drain(&mut engine);
+        json_rows.push(report("sim", &run));
+    }
+    if !json_path.is_empty() {
+        let json = format!(
+            "{{\n  \"model\": \"{model}\",\n  \"clips\": {},\n  \"batch\": {batch},\n  \"results\": [\n{}\n  ]\n}}\n",
+            labels.len(),
+            json_rows.join(",\n")
+        );
+        std::fs::write(&json_path, json).map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        println!("wrote {json_path}");
+    }
+    if threads > 0 {
+        set_thread_override(None);
+    }
+    Ok(())
+}
+
 fn cmd_tables() -> Result<(), String> {
     println!("The table regeneration binaries live in the p3d-bench crate:\n");
     for (bin, what) in [
@@ -357,7 +507,7 @@ fn cmd_tables() -> Result<(), String> {
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        return Err("usage: p3d <train|eval|prune|simulate|tables> [--flag value ...]".into());
+        return Err("usage: p3d <train|eval|prune|simulate|infer|tables> [--flag value ...]".into());
     };
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
@@ -365,6 +515,7 @@ fn run() -> Result<(), String> {
         "eval" => cmd_eval(&args),
         "prune" => cmd_prune(&args),
         "simulate" => cmd_simulate(&args),
+        "infer" => cmd_infer(&args),
         "tables" => cmd_tables(),
         other => Err(format!("unknown command '{other}'")),
     }

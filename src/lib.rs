@@ -12,7 +12,9 @@
 //!   (UCF101 stand-in),
 //! * [`models`] — R(2+1)D and C3D specs, builders, and counters,
 //! * [`pruning`] — the paper's contribution: blockwise ADMM pruning,
-//! * [`fpga`] — the accelerator models and functional simulator.
+//! * [`fpga`] — the accelerator models and functional simulator,
+//! * [`infer`] — the batched inference serving layer over both the f32
+//!   network and the Q7.8 simulator.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and the
 //! `p3d-bench` binaries (`table1`..`table4`, `accuracy`, `dse`,
@@ -20,6 +22,7 @@
 
 pub use p3d_core as pruning;
 pub use p3d_fpga as fpga;
+pub use p3d_infer as infer;
 pub use p3d_models as models;
 pub use p3d_nn as nn;
 pub use p3d_tensor as tensor;

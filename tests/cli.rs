@@ -118,3 +118,101 @@ fn eval_with_wrong_model_for_checkpoint_fails() {
     );
     let _ = std::fs::remove_file(&ckpt);
 }
+
+#[test]
+fn infer_help_exits_zero_with_usage() {
+    let out = p3d().args(["infer", "--help"]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: p3d infer"), "{text}");
+    assert!(text.contains("--backend"), "{text}");
+}
+
+#[test]
+fn infer_unknown_flag_rejected() {
+    let out = p3d()
+        .args(["infer", "--bogus", "1", "--ckpt", "whatever.ckpt"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --bogus"), "{err}");
+    assert!(err.contains("p3d infer --help"), "{err}");
+}
+
+#[test]
+fn infer_missing_checkpoint_path_fails_cleanly() {
+    let out = p3d()
+        .args(["infer", "--model", "micro", "--ckpt", "/nonexistent/missing.ckpt"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot load /nonexistent/missing.ckpt"), "{err}");
+}
+
+#[test]
+fn infer_streams_both_backends_and_writes_json() {
+    let dir = std::env::temp_dir().join("p3d_cli_infer");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("micro.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let json = dir.join("infer.json");
+    let json_s = json.to_str().unwrap();
+
+    let out = p3d()
+        .args([
+            "train", "--model", "micro", "--epochs", "1", "--clips", "20", "--seed", "9",
+            "--out", ckpt_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = p3d()
+        .args([
+            "infer", "--model", "micro", "--ckpt", ckpt_s, "--clips", "12", "--batch", "4",
+            "--backend", "both", "--tm", "4", "--tn", "4", "--seed", "9", "--json", json_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "infer failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("clips/s"), "{text}");
+    assert!(text.contains("p50"), "{text}");
+    assert!(text.contains("accuracy"), "{text}");
+    assert!(text.contains("f32"), "{text}");
+    assert!(text.contains("sim"), "{text}");
+
+    let report = std::fs::read_to_string(&json).expect("json report written");
+    assert!(report.contains("\"backend\": \"f32\""), "{report}");
+    assert!(report.contains("\"backend\": \"sim\""), "{report}");
+    assert!(report.contains("\"p99_ms\""), "{report}");
+    assert_eq!(
+        report.matches('{').count(),
+        report.matches('}').count(),
+        "unbalanced JSON: {report}"
+    );
+
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn infer_rejects_bad_backend() {
+    let out = p3d()
+        .args(["infer", "--ckpt", "x.ckpt", "--backend", "tpu"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown backend 'tpu'"), "{err}");
+}
