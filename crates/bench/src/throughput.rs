@@ -17,7 +17,7 @@
 
 use p3d_nn::{Conv3d, Layer, Mode};
 use p3d_tensor::parallel::set_thread_override;
-use p3d_tensor::{Tensor, TensorRng};
+use p3d_tensor::{BlockPattern, Tensor, TensorRng};
 use std::time::Instant;
 
 /// Shape and repetition parameters for one benchmark run.
@@ -201,6 +201,20 @@ pub fn run_conv3d_throughput(cfg: &Conv3dBenchConfig) -> Conv3dBenchReport {
 }
 
 impl Conv3dBenchReport {
+    /// Renders the report as pretty-printed JSON, embedding the
+    /// block-sparsity sweep (when provided) under `"sparsity_sweep"`.
+    pub fn to_json_with_sweep(&self, sweep: Option<&SparsitySweepReport>) -> String {
+        let mut s = self.to_json();
+        if let Some(sw) = sweep {
+            let tail = "  ]\n}\n";
+            debug_assert!(s.ends_with(tail));
+            s.truncate(s.len() - tail.len());
+            s.push_str("  ],\n");
+            s.push_str(&format!("  \"sparsity_sweep\": {}\n}}\n", sw.to_json_fragment()));
+        }
+        s
+    }
+
     /// Renders the report as pretty-printed JSON.
     pub fn to_json(&self) -> String {
         let c = &self.config;
@@ -241,6 +255,236 @@ impl Conv3dBenchReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Block-sparsity forward sweep
+// ---------------------------------------------------------------------------
+
+/// Configuration for the single-thread block-sparsity forward sweep:
+/// the same conv shape as the training-step benchmark, forwarded with
+/// an increasing fraction of `Tm x Tn` weight blocks magnitude-pruned.
+#[derive(Clone, Debug)]
+pub struct SparsitySweepConfig {
+    /// Conv shape and rep count (the `threads` field is ignored — the
+    /// sweep is a single-thread measurement by design, matching the
+    /// paper's per-engine block-skip accounting).
+    pub conv: Conv3dBenchConfig,
+    /// Block tile `(Tm, Tk)` over the flattened `[M, N*Kd*Kr*Kc]`
+    /// weight matrix.
+    pub tile: (usize, usize),
+    /// Fractions of blocks to prune, e.g. `[0.0, 0.5, 0.7, 0.9]`.
+    pub pruned_fractions: Vec<f64>,
+}
+
+impl SparsitySweepConfig {
+    /// The headline sweep: a deeper-layer conv shape (`16 -> 64`
+    /// channels — the paper's later C3D stages are the wide, heavily
+    /// pruned ones, and a wider `M` amortises the sparsity-independent
+    /// im2col/packing work over more skippable GEMM rows), `4x4`
+    /// blocks, 0/50/70/90 % of blocks pruned.
+    pub fn standard() -> Self {
+        SparsitySweepConfig {
+            conv: Conv3dBenchConfig {
+                out_channels: 64,
+                reps: 15,
+                ..Conv3dBenchConfig::standard()
+            },
+            tile: (4, 4),
+            pruned_fractions: vec![0.0, 0.5, 0.7, 0.9],
+        }
+    }
+
+    /// A fast configuration for `cargo test`.
+    pub fn smoke() -> Self {
+        SparsitySweepConfig {
+            conv: Conv3dBenchConfig::smoke(),
+            tile: (2, 2),
+            pruned_fractions: vec![0.0, 0.5],
+        }
+    }
+}
+
+/// Measured numbers for one pruned fraction.
+#[derive(Clone, Debug)]
+pub struct SparsityResult {
+    /// Requested fraction of blocks pruned.
+    pub pruned_fraction: f64,
+    /// Blocks actually kept after rounding.
+    pub enabled_blocks: usize,
+    /// Total blocks in the grid.
+    pub total_blocks: usize,
+    /// Best dense forward wall time, milliseconds (masked weights, no
+    /// pattern installed).
+    pub dense_ms: f64,
+    /// Best block-sparse forward wall time, milliseconds (same masked
+    /// weights, block-CSR path).
+    pub sparse_ms: f64,
+    /// `dense_ms / sparse_ms` (`>1` means block skipping pays).
+    pub speedup_vs_dense: f64,
+    /// Dense-equivalent throughput of the sparse forward: the full
+    /// (unpruned) MAC count divided by the sparse wall time. This is the
+    /// paper's "effective GFLOP/s" — it rises with sparsity because
+    /// skipped blocks still count as delivered work.
+    pub effective_gflops: f64,
+    /// Whether the sparse forward matched the dense forward bit-for-bit.
+    pub bitwise_equal: bool,
+}
+
+/// A complete sweep report.
+#[derive(Clone, Debug)]
+pub struct SparsitySweepReport {
+    /// The configuration that was run.
+    pub config: SparsitySweepConfig,
+    /// One row per pruned fraction, in `config.pruned_fractions` order.
+    pub results: Vec<SparsityResult>,
+}
+
+/// Runs the block-sparsity forward sweep at one forced thread.
+///
+/// For each requested fraction the weight's `Tm x Tk` blocks are ranked
+/// by squared Frobenius norm, the smallest are zeroed (the block-prune
+/// precondition under which skipping is exact), and the same masked
+/// layer is forwarded through both compute paths — dense GEMM on the
+/// zero-laden weights vs the block-CSR kernel that visits only enabled
+/// blocks. Dense and sparse reps are interleaved so drift hits both
+/// alike.
+///
+/// # Panics
+///
+/// Panics if any sparse forward deviates bitwise from its dense
+/// counterpart.
+pub fn run_sparsity_sweep(cfg: &SparsitySweepConfig) -> SparsitySweepReport {
+    set_thread_override(Some(1));
+    let c = &cfg.conv;
+    let (kd, kr, kc) = c.kernel;
+    let pad = (kd / 2, kr / 2, kc / 2);
+    let m = c.out_channels;
+    let rows = c.in_channels * kd * kr * kc;
+    let (tm, tk) = cfg.tile;
+    let bcols = rows.div_ceil(tk);
+    let total = m.div_ceil(tm) * bcols;
+
+    let mut results = Vec::with_capacity(cfg.pruned_fractions.len());
+    for &frac in &cfg.pruned_fractions {
+        // Fresh identically-seeded layer per fraction: every row prunes
+        // the same underlying weights, so rows differ only in sparsity.
+        let mut rng = TensorRng::seed(2020);
+        let mut conv = Conv3d::new("sweep", m, c.in_channels, c.kernel, (1, 1, 1), pad, true, &mut rng);
+        let (d, h, w) = c.input;
+        let x = rng.uniform_tensor([c.batch, c.in_channels, d, h, w], -1.0, 1.0);
+
+        // Rank blocks by squared Frobenius norm; keep the largest.
+        let wdata = conv.weight.value.data();
+        let mut norms = vec![0.0f64; total];
+        for r in 0..m {
+            for col in 0..rows {
+                norms[(r / tm) * bcols + col / tk] += (wdata[r * rows + col] as f64).powi(2);
+            }
+        }
+        let kept = (((1.0 - frac) * total as f64).round() as usize).clamp(1, total);
+        let mut order: Vec<usize> = (0..total).collect();
+        order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap().then(i.cmp(&j)));
+        let mut keep = vec![false; total];
+        for &i in order.iter().take(kept) {
+            keep[i] = true;
+        }
+        // Zero the pruned blocks — dense and sparse paths then agree
+        // bitwise (the canonical-order zero-skip argument).
+        let wmut = conv.weight.value.data_mut();
+        for r in 0..m {
+            for col in 0..rows {
+                if !keep[(r / tm) * bcols + col / tk] {
+                    wmut[r * rows + col] = 0.0;
+                }
+            }
+        }
+        let pattern = BlockPattern {
+            m,
+            k: rows,
+            tm,
+            tk,
+            keep: keep.clone(),
+        };
+
+        // Warm both paths once (and capture outputs for the bitwise
+        // check), then interleave timed reps.
+        conv.install_block_patterns(&mut |_| None);
+        let y_dense = conv.forward(&x, Mode::Eval);
+        conv.install_block_patterns(&mut |_| Some(pattern.clone()));
+        let y_sparse = conv.forward(&x, Mode::Eval);
+        let bitwise_equal = y_dense
+            .data()
+            .iter()
+            .zip(y_sparse.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(
+            bitwise_equal,
+            "sparse forward diverged from dense at pruned fraction {frac}"
+        );
+
+        let mut dense_ms = f64::INFINITY;
+        let mut sparse_ms = f64::INFINITY;
+        for _ in 0..c.reps.max(1) {
+            conv.install_block_patterns(&mut |_| None);
+            let t0 = Instant::now();
+            std::hint::black_box(conv.forward(&x, Mode::Eval));
+            dense_ms = dense_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+            conv.install_block_patterns(&mut |_| Some(pattern.clone()));
+            let t0 = Instant::now();
+            std::hint::black_box(conv.forward(&x, Mode::Eval));
+            sparse_ms = sparse_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+
+        let cols_n = d * h * w; // stride 1, same-padding: output == input volume
+        let dense_flops = 2.0 * c.batch as f64 * m as f64 * rows as f64 * cols_n as f64;
+        results.push(SparsityResult {
+            pruned_fraction: frac,
+            enabled_blocks: kept,
+            total_blocks: total,
+            dense_ms,
+            sparse_ms,
+            speedup_vs_dense: dense_ms / sparse_ms.max(1e-12),
+            effective_gflops: dense_flops / (sparse_ms * 1e-3) / 1e9,
+            bitwise_equal,
+        });
+    }
+    set_thread_override(None);
+    SparsitySweepReport {
+        config: cfg.clone(),
+        results,
+    }
+}
+
+impl SparsitySweepReport {
+    /// Renders the sweep as a JSON fragment (an object, no trailing
+    /// newline) for embedding under `"sparsity_sweep"` in
+    /// `BENCH_conv3d.json`.
+    pub fn to_json_fragment(&self) -> String {
+        let (tm, tk) = self.config.tile;
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("    \"tile\": [{tm}, {tk}],\n"));
+        s.push_str("    \"threads\": 1,\n");
+        s.push_str("    \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"pruned_fraction\": {:.2}, \"enabled_blocks\": {}, \"total_blocks\": {}, \"dense_ms\": {:.4}, \"sparse_ms\": {:.4}, \"speedup_vs_dense\": {:.3}, \"effective_gflops\": {:.3}, \"bitwise_equal\": {}}}{}\n",
+                r.pruned_fraction,
+                r.enabled_blocks,
+                r.total_blocks,
+                r.dense_ms,
+                r.sparse_ms,
+                r.speedup_vs_dense,
+                r.effective_gflops,
+                r.bitwise_equal,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("    ]\n  }");
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +503,29 @@ mod tests {
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"threads\": 2"));
         // Balanced braces / brackets — cheap structural sanity.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn sparsity_sweep_smoke_is_bitwise_and_embeds_in_json() {
+        let sweep = run_sparsity_sweep(&SparsitySweepConfig::smoke());
+        assert_eq!(sweep.results.len(), 2);
+        for r in &sweep.results {
+            assert!(r.bitwise_equal);
+            assert!(r.dense_ms.is_finite() && r.sparse_ms.is_finite());
+            assert!(r.enabled_blocks >= 1 && r.enabled_blocks <= r.total_blocks);
+        }
+        // The 0.0 row keeps every block.
+        assert_eq!(sweep.results[0].enabled_blocks, sweep.results[0].total_blocks);
+        let report = run_conv3d_throughput(&Conv3dBenchConfig::smoke());
+        let json = report.to_json_with_sweep(Some(&sweep));
+        assert!(json.contains("\"sparsity_sweep\""));
+        assert!(json.contains("\"pruned_fraction\": 0.50"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -35,3 +35,38 @@ fn batched_engine_at_least_2x_sequential_at_8_threads() {
         row.sequential_clips_per_s
     );
 }
+
+/// The sim backend must never be *slower* batched than sequential, at
+/// any forced thread count. Before the per-worker scratch reuse and the
+/// physical-core worker cap, forcing more sim workers than host cores
+/// oversubscribed the CPU and pushed `batched_speedup` below 1.0
+/// (0.94–0.98 at 2–4 forced threads on a 1-core host) while the
+/// sequential baseline, being internally serial, was immune.
+///
+/// `batched_speedup` is the best *paired* ratio over `reps` interleaved
+/// head-to-head measurements, so external interference can only lower
+/// it; eight pairs keep the false-failure probability negligible while a
+/// systematic oversubscription regression (every pair slow) still fails.
+#[test]
+fn sim_batched_never_slower_than_sequential() {
+    let cfg = InferBenchConfig {
+        clips: 24,
+        batch: 8,
+        reps: 8,
+        threads: vec![1, 2, 4],
+        num_classes: 4,
+        seed: 2020,
+    };
+    let report = run_inference_throughput(&cfg);
+    for row in report.results.iter().filter(|r| r.backend == "sim") {
+        assert!(row.bitwise_equal);
+        assert!(
+            row.batched_speedup >= 1.0,
+            "sim backend at {} forced threads regressed to {:.3}x sequential ({:.1} vs {:.1} clips/s)",
+            row.threads,
+            row.batched_speedup,
+            row.clips_per_s,
+            row.sequential_clips_per_s
+        );
+    }
+}

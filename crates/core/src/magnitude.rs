@@ -73,6 +73,8 @@ pub fn magnitude_block_prune(
         p.set_mask(mask);
         pruned.insert(t.layer.clone(), LayerBlockMask::new(grid, sel.keep));
     });
+    // Retraining/eval after a block prune runs the block-skipping GEMM.
+    pruned.install_block_sparse(network);
     pruned
 }
 
@@ -112,6 +114,11 @@ pub fn unstructured_prune(
         p.set_mask(mask);
         pruned.insert(t.layer.clone(), block_map);
     });
+    // Installing the (nearly dense) block maps is still lossless — a
+    // block is disabled only when every weight in it is zero — and lets
+    // the ablation measure exactly how little unstructured sparsity
+    // converts into block skips.
+    pruned.install_block_sparse(network);
     pruned
 }
 
@@ -156,6 +163,9 @@ pub fn channel_prune(
         p.set_mask(mask);
         pruned.insert(t.layer.clone(), block_map);
     });
+    // Whole pruned channels disable block rows once all Tm of their
+    // channels are gone; the sparse path skips exactly those.
+    pruned.install_block_sparse(network);
     pruned
 }
 

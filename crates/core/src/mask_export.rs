@@ -7,6 +7,8 @@
 
 use crate::blocks::{BlockGrid, BlockShape};
 use bytes::{BufMut, Bytes, BytesMut};
+use p3d_nn::Layer;
+use p3d_tensor::BlockPattern;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -91,6 +93,28 @@ impl LayerBlockMask {
         buf.freeze()
     }
 
+    /// Lowers this mask to the matrix-coordinate [`BlockPattern`] the
+    /// CPU block-sparse GEMM consumes.
+    ///
+    /// The weight tensor `[M, N, Kd, Kr, Kc]`, viewed row-major as the
+    /// `[M, N * kv]` GEMM left operand, maps a `Tm x Tn` channel block
+    /// onto a `tm = Tm` by `tk = Tn * kv` matrix block: the `Tn` input
+    /// channels of block column `bj` own the contiguous column range
+    /// `[bj*Tn*kv, min((bj+1)*Tn, N)*kv)`. Block coordinates and the
+    /// row-major keep bitmap carry over one-to-one, so the same enable
+    /// bits gate the FPGA simulator's tile skip and the CPU kernel's
+    /// block skip.
+    pub fn to_block_pattern(&self) -> BlockPattern {
+        let kv = self.grid.kernel_volume;
+        BlockPattern {
+            m: self.grid.m,
+            k: self.grid.n * kv,
+            tm: self.grid.shape.tm,
+            tk: self.grid.shape.tn * kv,
+            keep: self.keep.clone(),
+        }
+    }
+
     /// Unpacks a bitmap produced by [`LayerBlockMask::to_bitmap`].
     ///
     /// # Panics
@@ -135,6 +159,21 @@ impl PrunedModel {
     /// The mask for `layer`, if pruned.
     pub fn mask(&self, layer: &str) -> Option<&LayerBlockMask> {
         self.layers.get(layer)
+    }
+
+    /// Installs this model's block-enable maps as block-sparse execution
+    /// patterns on `network`: every conv layer named in the map compiles
+    /// its (masked) weights to block-CSR and runs `forward`/`eval_into`
+    /// through the block-skipping GEMM from then on. Layers absent from
+    /// the map keep the dense path. Outputs are bitwise identical either
+    /// way (the skipped blocks are exactly zero); the sparse path is
+    /// just proportionally faster — the CPU analogue of the
+    /// accelerator's block-enable gating.
+    pub fn install_block_sparse(&self, network: &mut dyn Layer) {
+        network.install_block_patterns(&mut |param_name| {
+            let layer = param_name.strip_suffix(".weight")?;
+            self.layers.get(layer).map(LayerBlockMask::to_block_pattern)
+        });
     }
 
     /// Overall kept fraction of the masked layers' parameters.

@@ -385,6 +385,10 @@ impl AdmmPruner {
             p.set_mask(mask5.reshape(p.value.shape()));
             pruned.insert(layer, LayerBlockMask::new(st.grid, selection.keep));
         });
+        // From here on the masked retraining forward skips pruned blocks
+        // outright (bitwise identical to the dense path on the masked
+        // weights — the blocks it skips are exactly zero).
+        pruned.install_block_sparse(network);
         pruned
     }
 
@@ -410,6 +414,10 @@ impl AdmmPruner {
                 pruned.insert(layer, crate::magnitude::block_enable_from_mask(mask, &st.grid));
             }
         });
+        // Match `hard_prune`: the resumed retraining forward also runs
+        // block-sparse. Both paths are bitwise identical to dense, so a
+        // resumed run still reproduces an uninterrupted one exactly.
+        pruned.install_block_sparse(network);
         pruned
     }
 

@@ -37,6 +37,9 @@ pub struct ConvStats {
 /// * returns the `[M, Do, Ho, Wo]` output **accumulators quantised to
 ///   Q7.8** plus statistics.
 ///
+/// Allocates a fresh tile-accumulator scratch; batch loops that run many
+/// clips should use [`run_conv_with_scratch`] to reuse one.
+///
 /// # Panics
 ///
 /// Panics on any shape mismatch between `inst`, `weights` and `input`.
@@ -46,6 +49,28 @@ pub fn run_conv(
     input: &FixedTensor,
     mask: Option<&LayerBlockMask>,
     config: &AcceleratorConfig,
+) -> (FixedTensor, ConvStats) {
+    let mut scratch = Vec::new();
+    run_conv_with_scratch(inst, weights, input, mask, config, &mut scratch)
+}
+
+/// [`run_conv`] with a caller-owned tile-accumulator scratch.
+///
+/// The engine previously allocated one `Vec<MacAccumulator>` per (volume
+/// tile x output-channel block) — for a whole-network forward that is
+/// thousands of short-lived heap allocations per clip, and the dominant
+/// allocator churn of the batched sim backend. Passing `scratch` lets
+/// every tile of every layer of every clip reuse one buffer: the vector
+/// is cleared and refilled with `MacAccumulator::new()` per tile, so the
+/// arithmetic (and therefore the output) is bitwise identical to the
+/// allocating path.
+pub fn run_conv_with_scratch(
+    inst: &ConvInstance,
+    weights: &FixedTensor,
+    input: &FixedTensor,
+    mask: Option<&LayerBlockMask>,
+    config: &AcceleratorConfig,
+    scratch: &mut Vec<MacAccumulator>,
 ) -> (FixedTensor, ConvStats) {
     let (n_ch, di, hi, wi) = inst.input;
     let (m_ch, od, oh, ow) = inst.output;
@@ -103,7 +128,9 @@ pub fn run_conv(
                     // One wide accumulator per output element of the tile
                     // (the DSP accumulation register + adder tree).
                     let tile_len = (m1 - m0) * (d1 - d0) * (r1 - r0) * (c1 - c0);
-                    let mut acc = vec![MacAccumulator::new(); tile_len];
+                    scratch.clear();
+                    scratch.resize(tile_len, MacAccumulator::new());
+                    let acc = &mut *scratch;
                     let mut enabled_blocks = 0u64;
 
                     for bj in 0..cols {

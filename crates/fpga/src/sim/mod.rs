@@ -18,6 +18,6 @@ pub mod conv;
 pub mod network;
 pub mod post;
 
-pub use conv::{run_conv, ConvStats};
-pub use network::{QuantizedNetwork, SimOutput};
+pub use conv::{run_conv, run_conv_with_scratch, ConvStats};
+pub use network::{QuantizedNetwork, SimOutput, SimScratch};
 pub use post::PostProcessor;

@@ -7,13 +7,32 @@
 //! convolution engine with block-enable maps.
 
 use crate::config::AcceleratorConfig;
-use crate::sim::conv::{run_conv, ConvStats};
+use crate::sim::conv::{run_conv_with_scratch, ConvStats};
 use crate::sim::post::PostProcessor;
 use p3d_core::PrunedModel;
 use p3d_models::{build::bn_names, ConvInstance, NetworkSpec, Node};
 use p3d_nn::Layer;
+use p3d_tensor::fixed::MacAccumulator;
 use p3d_tensor::{Fixed16, FixedTensor, Tensor};
 use std::collections::BTreeMap;
+
+/// Reusable per-worker scratch for repeated simulated forwards.
+///
+/// Holds the tile-accumulator buffer the conv engine fills per (volume
+/// tile x channel block). One `SimScratch` per serving worker turns the
+/// engine's per-tile allocations into buffer reuse across every layer of
+/// every clip; outputs are bitwise identical to the scratch-free path.
+#[derive(Default)]
+pub struct SimScratch {
+    acc: Vec<MacAccumulator>,
+}
+
+impl SimScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+}
 
 /// Result of one simulated forward pass.
 #[derive(Clone, Debug)]
@@ -146,10 +165,22 @@ impl QuantizedNetwork {
     /// Runs one clip `[C, D, H, W]` (f32, quantised on the way in) with
     /// block-enable maps from `pruned`.
     pub fn forward(&self, clip: &Tensor, pruned: &PrunedModel) -> SimOutput {
+        self.forward_with_scratch(clip, pruned, &mut SimScratch::new())
+    }
+
+    /// [`QuantizedNetwork::forward`] reusing `scratch` across calls —
+    /// the batched-serving path. Bitwise identical to `forward`.
+    pub fn forward_with_scratch(
+        &self,
+        clip: &Tensor,
+        pruned: &PrunedModel,
+        scratch: &mut SimScratch,
+    ) -> SimOutput {
         assert_eq!(clip.shape().rank(), 4, "expected [C, D, H, W] clip");
         let mut ctx = WalkCtx {
             net: self,
             pruned,
+            scratch,
             conv_idx: 0,
             bn_idx: 0,
             stats: ConvStats::default(),
@@ -197,6 +228,7 @@ fn collect_linears(nodes: &[Node], f: &mut impl FnMut(&str, usize, usize)) {
 struct WalkCtx<'a> {
     net: &'a QuantizedNetwork,
     pruned: &'a PrunedModel,
+    scratch: &'a mut SimScratch,
     conv_idx: usize,
     bn_idx: usize,
     stats: ConvStats,
@@ -222,7 +254,14 @@ impl WalkCtx<'_> {
                 self.conv_idx += 1;
                 let weights = &self.net.conv_weights[&spec.name];
                 let mask = self.pruned.mask(&spec.name);
-                let (mut out, stats) = run_conv(inst, weights, &map, mask, &self.net.config);
+                let (mut out, stats) = run_conv_with_scratch(
+                    inst,
+                    weights,
+                    &map,
+                    mask,
+                    &self.net.config,
+                    &mut self.scratch.acc,
+                );
                 self.accumulate(stats);
                 if let Some(bias) = self.net.conv_bias.get(&spec.name) {
                     PostProcessor::bias(&mut out, bias);

@@ -6,9 +6,9 @@
 //! clip `i` always lands in slot `i` no matter which worker computed it.
 
 use p3d_core::PrunedModel;
-use p3d_fpga::sim::QuantizedNetwork;
+use p3d_fpga::sim::{QuantizedNetwork, SimScratch};
 use p3d_nn::{EvalArena, Layer, Sequential};
-use p3d_tensor::parallel::{parallel_chunk_map, parallel_worker_chunks};
+use p3d_tensor::parallel::{max_threads, parallel_worker_chunks};
 use p3d_tensor::{Shape, Tensor};
 
 /// The classifier output for one clip.
@@ -109,6 +109,26 @@ impl F32Engine {
         }
     }
 
+    /// Builds an engine whose replicas execute block-sparsely under
+    /// `pruned`'s block-enable maps — the pruned-model serving path.
+    ///
+    /// Every replica compiles its conv weights to block-CSR once, so the
+    /// steady-state forward skips pruned `Tm x Tn` blocks outright.
+    /// Because skipped blocks are exactly zero in a pruned checkpoint,
+    /// results are **bitwise identical** to [`F32Engine::new`] on the
+    /// same weights — only faster, proportionally to the pruning ratio.
+    pub fn new_pruned(
+        replicas: usize,
+        build: impl FnMut() -> Sequential,
+        pruned: &p3d_core::PrunedModel,
+    ) -> Self {
+        let mut engine = F32Engine::new(replicas, build);
+        for rep in &mut engine.replicas {
+            pruned.install_block_sparse(&mut rep.net);
+        }
+        engine
+    }
+
     /// Number of worker replicas.
     pub fn replicas(&self) -> usize {
         self.replicas.len()
@@ -144,21 +164,43 @@ impl InferenceEngine for F32Engine {
 /// [`QuantizedNetwork::forward`] takes `&self`, so one quantised model is
 /// shared read-only across workers; the block-enable maps from the
 /// pruned-model artifact gate computation exactly as in `p3d simulate`.
+///
+/// Each worker owns a [`SimScratch`] so the conv engine's per-tile
+/// accumulator buffers are reused across clips instead of reallocated,
+/// and the worker count is capped at the host's physical parallelism:
+/// the simulator is pure compute, so spawning more workers than cores
+/// (e.g. a forced `P3D_THREADS` above `available_parallelism`) only adds
+/// contention without adding throughput. Results are bitwise independent
+/// of both the cap and the scratch reuse.
 pub struct SimEngine {
     net: QuantizedNetwork,
     pruned: PrunedModel,
+    scratches: Vec<SimScratch>,
 }
 
 impl SimEngine {
     /// Wraps a quantised network and a pruning artifact (use
     /// [`PrunedModel::dense`] for an unpruned run).
     pub fn new(net: QuantizedNetwork, pruned: PrunedModel) -> Self {
-        SimEngine { net, pruned }
+        SimEngine {
+            net,
+            pruned,
+            scratches: Vec::new(),
+        }
     }
 
     /// The wrapped quantised network.
     pub fn network(&self) -> &QuantizedNetwork {
         &self.net
+    }
+
+    /// Effective worker cap: the forced thread count, but never more
+    /// than the host can actually run in parallel.
+    fn worker_cap() -> usize {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        max_threads().min(host).max(1)
     }
 }
 
@@ -169,10 +211,15 @@ impl InferenceEngine for SimEngine {
 
     fn infer_batch_into(&mut self, clips: &[Tensor], out: &mut [ClipResult]) {
         assert_eq!(clips.len(), out.len(), "clips/results length mismatch");
+        let cap = Self::worker_cap();
+        // Keep existing scratches warm; only grow when the cap does.
+        if self.scratches.len() < cap {
+            self.scratches.resize_with(cap, SimScratch::new);
+        }
         let net = &self.net;
         let pruned = &self.pruned;
-        parallel_chunk_map(out, 1, |idx, slot| {
-            let r = net.forward(&clips[idx], pruned);
+        parallel_worker_chunks(out, 1, &mut self.scratches[..cap], |scratch, idx, slot| {
+            let r = net.forward_with_scratch(&clips[idx], pruned, scratch);
             slot[0].logits.clear();
             slot[0].logits.extend_from_slice(&r.logits);
             slot[0].prediction = r.prediction;

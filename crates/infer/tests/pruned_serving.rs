@@ -1,0 +1,108 @@
+//! Pruned-model serving equivalence.
+//!
+//! `F32Engine::new_pruned` compiles every replica's conv weights to
+//! block-CSR under the pruned model's block-enable maps. Because the
+//! skipped blocks hold exactly-zero weights, the engine's outputs must be
+//! **bitwise identical** to a dense `F32Engine::new` on the same pruned
+//! checkpoint — across batch sizes, thread counts, and replica counts.
+
+use p3d_core::{magnitude_block_prune, BlockShape, KeepRule, PruneTarget, PrunedModel};
+use p3d_infer::{F32Engine, InferenceEngine};
+use p3d_models::{build_network, r2plus1d_micro};
+use p3d_nn::{Layer, LayerExt, Sequential};
+use p3d_tensor::parallel::set_thread_override;
+use p3d_tensor::{Tensor, TensorRng};
+use std::sync::Mutex;
+
+/// Serialises tests that mutate the process-wide thread override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+const SEED: u64 = 404;
+
+fn clips(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = TensorRng::seed(seed);
+    (0..n)
+        .map(|_| rng.uniform_tensor([1, 6, 16, 16], 0.0, 1.0))
+        .collect()
+}
+
+/// Builds the pruned checkpoint once: the masked parameter values of a
+/// seeded micro network, plus the block-enable artifact.
+fn pruned_checkpoint() -> (Vec<(String, Tensor)>, PrunedModel) {
+    let spec = r2plus1d_micro(4);
+    let mut net = build_network(&spec, SEED);
+    let targets = vec![
+        PruneTarget {
+            layer: "conv2_1a.spatial".into(),
+            eta: 0.7,
+        },
+        PruneTarget {
+            layer: "conv2_1b.temporal".into(),
+            eta: 0.6,
+        },
+    ];
+    let pm = magnitude_block_prune(&mut net, BlockShape::new(4, 4), &targets, KeepRule::Round);
+    assert!(pm.kept_fraction() < 0.9, "pruning did not bite");
+    (net.snapshot_params(), pm)
+}
+
+/// A builder closure producing fresh networks carrying the pruned
+/// checkpoint's (masked) weights on the dense execution path — what
+/// restoring a pruned checkpoint produces before serving setup.
+fn replica_builder(params: &[(String, Tensor)]) -> impl FnMut() -> Sequential + '_ {
+    let spec = r2plus1d_micro(4);
+    move || {
+        let mut fresh = build_network(&spec, SEED);
+        let mut it = params.iter();
+        fresh.visit_params(&mut |p| {
+            let (name, value) = it.next().expect("param count mismatch");
+            assert_eq!(*name, p.name);
+            p.value = value.clone();
+        });
+        fresh
+    }
+}
+
+#[test]
+fn pruned_engine_bitwise_matches_dense_engine() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let (params, pm) = pruned_checkpoint();
+    let batch = clips(6, 11);
+
+    for threads in [1, 4] {
+        set_thread_override(Some(threads));
+        let mut dense = F32Engine::new(2, replica_builder(&params));
+        let mut sparse = F32Engine::new_pruned(3, replica_builder(&params), &pm);
+        let rd = dense.infer_batch(&batch);
+        let rs = sparse.infer_batch(&batch);
+        for (i, (d, s)) in rd.iter().zip(&rs).enumerate() {
+            let db: Vec<u32> = d.logits.iter().map(|x| x.to_bits()).collect();
+            let sb: Vec<u32> = s.logits.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(db, sb, "clip {i} logits diverged at {threads} threads");
+            assert_eq!(d.prediction, s.prediction);
+        }
+    }
+    set_thread_override(None);
+}
+
+#[test]
+fn pruned_engine_steady_state_stays_allocation_stable() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    set_thread_override(Some(1));
+    let (params, pm) = pruned_checkpoint();
+    let mut engine = F32Engine::new_pruned(1, replica_builder(&params), &pm);
+    let batch = clips(3, 19);
+    let mut out = engine.infer_batch(&batch);
+    // Warm: arenas and logits vectors are sized now.
+    engine.infer_batch_into(&batch, &mut out);
+    let grows_before = engine.arena_grow_events();
+    for _ in 0..4 {
+        engine.infer_batch_into(&batch, &mut out);
+    }
+    assert_eq!(
+        engine.arena_grow_events(),
+        grows_before,
+        "block-sparse serving must not regrow arenas in steady state"
+    );
+    set_thread_override(None);
+}

@@ -86,6 +86,15 @@ impl Layer for Sequential {
         cur
     }
 
+    fn install_block_patterns(
+        &mut self,
+        get: &mut dyn FnMut(&str) -> Option<p3d_tensor::BlockPattern>,
+    ) {
+        for layer in &mut self.layers {
+            layer.install_block_patterns(get);
+        }
+    }
+
     fn describe(&self) -> String {
         let parts: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
         format!("sequential[{}]", parts.join(", "))
@@ -187,6 +196,16 @@ impl Layer for ResidualBlock {
         self.main.import_state(get);
         if let Some(s) = &mut self.shortcut {
             s.import_state(get);
+        }
+    }
+
+    fn install_block_patterns(
+        &mut self,
+        get: &mut dyn FnMut(&str) -> Option<p3d_tensor::BlockPattern>,
+    ) {
+        self.main.install_block_patterns(get);
+        if let Some(s) = &mut self.shortcut {
+            s.install_block_patterns(get);
         }
     }
 

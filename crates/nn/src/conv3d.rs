@@ -4,7 +4,7 @@ use crate::arena::{BufId, EvalArena};
 use crate::im2col::{col2im, im2col, im2col_into, ConvGeometry};
 use crate::layer::{Layer, Mode, Param, ParamKind};
 use p3d_tensor::parallel::{parallel_chunk_map, parallel_chunk_map_collect};
-use p3d_tensor::{gemm_into, Shape, Tensor, TensorRng};
+use p3d_tensor::{gemm_bs_into, gemm_into, BlockPattern, BlockSparseWeights, Shape, Tensor, TensorRng};
 
 /// A 3D convolution: weights `[M, N, Kd, Kr, Kc]`, optional bias `[M]`.
 ///
@@ -34,6 +34,11 @@ pub struct Conv3d {
     stride: (usize, usize, usize),
     pad: (usize, usize, usize),
     cached_input: Option<Tensor>,
+    /// Block-CSR compiled weights, present only after
+    /// [`Layer::install_block_patterns`] handed this layer a pattern.
+    /// Refreshed from the (masked) dense weights at the top of every
+    /// forward, so retraining updates are always reflected.
+    sparse: Option<BlockSparseWeights>,
 }
 
 impl Conv3d {
@@ -70,6 +75,21 @@ impl Conv3d {
             stride,
             pad,
             cached_input: None,
+            sparse: None,
+        }
+    }
+
+    /// The compiled block-sparse weights, if a pattern is installed.
+    pub fn block_sparse(&self) -> Option<&BlockSparseWeights> {
+        self.sparse.as_ref()
+    }
+
+    /// Repacks the block-CSR values from the current (masked) weights so
+    /// the sparse kernel sees this step's weights. `O(m k)` against the
+    /// `O(m k n)` product — negligible, so it runs every forward.
+    fn refresh_sparse(&mut self) {
+        if let Some(bs) = &mut self.sparse {
+            bs.refresh(self.weight.value.data());
         }
     }
 
@@ -124,27 +144,33 @@ impl Conv3d {
 
 impl Layer for Conv3d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.refresh_sparse();
         let geom = self.geometry(input.shape());
         let batch = input.shape().dim(0);
         let m = self.out_channels();
         let (od, oh, ow) = geom.output();
         let per_in = input.len() / batch;
+        let rows = geom.col_rows();
         let cols_n = geom.col_cols();
 
-        let w_mat = self
-            .weight
-            .value
-            .reshape(Shape::d2(m, geom.col_rows()));
+        // The weight tensor is row-major [M, N, Kd, Kr, Kc], i.e. already
+        // the [M, rows] matrix — used directly, no reshape clone.
+        let w = self.weight.value.data();
+        let sparse = self.sparse.as_ref();
         let mut out = Tensor::zeros(Shape::d5(batch, m, od, oh, ow));
         let per_out = m * cols_n;
         let bias_data = self.bias.as_ref().map(|b| b.value.data());
         // Batch-parallel: each worker owns one clip's output slice. The
-        // inner matmul detects the nesting and runs serially, so this
+        // inner GEMM detects the nesting and runs serially, so this
         // never oversubscribes (see `p3d_tensor::parallel`).
         parallel_chunk_map(out.data_mut(), per_out, |b, dst| {
             let cols = im2col(&input.data()[b * per_in..(b + 1) * per_in], &geom);
-            let prod = w_mat.matmul(&cols);
-            dst.copy_from_slice(prod.data());
+            match sparse {
+                // Block-sparse: visit only enabled Tm x Tn blocks. Bitwise
+                // identical to the dense kernel on the masked weights.
+                Some(bs) => gemm_bs_into(bs, cols.data(), cols_n, dst),
+                None => gemm_into(w, m, rows, cols.data(), cols_n, dst),
+            }
             if let Some(bd) = bias_data {
                 for (ch, &bv) in bd.iter().enumerate() {
                     for x in &mut dst[ch * cols_n..(ch + 1) * cols_n] {
@@ -173,7 +199,14 @@ impl Layer for Conv3d {
 
         let per_in = input.len() / batch;
         let per_out = m * cols_n;
-        let w_mat = self.weight.value.reshape(Shape::d2(m, rows));
+        // Transpose the weight matrix once, outside the per-clip loop —
+        // `matmul_tn` would have re-materialised it per clip. Same
+        // arithmetic, so per-clip results are unchanged bit for bit.
+        let w_t = self
+            .weight
+            .value
+            .reshape(Shape::d2(m, rows))
+            .transpose2();
         let mut grad_in = Tensor::zeros(input.shape());
         let want_bias = self.bias.is_some();
 
@@ -189,10 +222,11 @@ impl Layer for Conv3d {
                     Shape::d2(m, cols_n),
                     grad_out.data()[b * per_out..(b + 1) * per_out].to_vec(),
                 );
-                // dL/dW (this clip) = gOut x cols^T
+                // dL/dW (this clip) = gOut x cols^T — the packed `nt`
+                // kernel folds the transpose into its B-panel packing.
                 let gw = g_mat.matmul_nt(&cols);
                 // dL/dIn = W^T x gOut, scattered back through col2im.
-                let grad_cols = w_mat.matmul_tn(&g_mat);
+                let grad_cols = w_t.matmul(&g_mat);
                 col2im(&grad_cols, &geom, gin);
                 let gb = if want_bias {
                     (0..m)
@@ -232,7 +266,25 @@ impl Layer for Conv3d {
         }
     }
 
+    fn install_block_patterns(&mut self, get: &mut dyn FnMut(&str) -> Option<BlockPattern>) {
+        self.sparse = get(&self.weight.name).map(|pat| {
+            let rows = self.in_channels() * self.kernel.0 * self.kernel.1 * self.kernel.2;
+            assert_eq!(
+                (pat.m, pat.k),
+                (self.out_channels(), rows),
+                "block pattern shape mismatch for {}: pattern {}x{}, weight {}x{}",
+                self.weight.name,
+                pat.m,
+                pat.k,
+                self.out_channels(),
+                rows
+            );
+            BlockSparseWeights::compile(self.weight.value.data(), &pat)
+        });
+    }
+
     fn eval_into(&mut self, arena: &mut EvalArena, input: BufId) -> BufId {
+        self.refresh_sparse();
         let in_shape = arena.shape(input);
         let geom = self.geometry(in_shape);
         let batch = in_shape.dim(0);
@@ -246,9 +298,9 @@ impl Layer for Conv3d {
         let out = arena.acquire(Shape::d5(batch, m, od, oh, ow));
         arena.ensure_scratch(rows * cols_n);
         // The weight tensor is row-major [M, N, Kd, Kr, Kc], i.e. already
-        // the [M, rows] matrix `forward` obtains by reshape (which
-        // clones); here it is used directly — no per-forward copy.
+        // the [M, rows] matrix — used directly, exactly as in `forward`.
         let w = self.weight.value.data();
+        let sparse = self.sparse.as_ref();
         let bias_data = self.bias.as_ref().map(|b| b.value.data());
         let (src, scratch, dst) = arena.conv_views(input, out, rows * cols_n);
         // Serial over clips: the batched engine parallelises over clips
@@ -258,7 +310,10 @@ impl Layer for Conv3d {
         for b in 0..batch {
             im2col_into(&src[b * per_in..(b + 1) * per_in], &geom, scratch);
             let dst_b = &mut dst[b * per_out..(b + 1) * per_out];
-            gemm_into(w, m, rows, scratch, cols_n, dst_b);
+            match sparse {
+                Some(bs) => gemm_bs_into(bs, scratch, cols_n, dst_b),
+                None => gemm_into(w, m, rows, scratch, cols_n, dst_b),
+            }
             if let Some(bd) = bias_data {
                 for (ch, &bv) in bd.iter().enumerate() {
                     for x in &mut dst_b[ch * cols_n..(ch + 1) * cols_n] {

@@ -2,7 +2,7 @@
 //! visitation.
 
 use crate::arena::{BufId, EvalArena};
-use p3d_tensor::Tensor;
+use p3d_tensor::{BlockPattern, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Whether a forward pass is part of training or evaluation.
@@ -183,6 +183,25 @@ pub trait Layer: Send {
         arena.buf_mut(out).copy_from_slice(y.data());
         out
     }
+
+    /// Installs (or clears) block-sparse execution patterns.
+    ///
+    /// Layers that can execute block-sparsely (currently [`crate::Conv3d`],
+    /// whose weight is the *left* GEMM operand) call `get` with each
+    /// weight parameter's name; a returned [`BlockPattern`] is compiled
+    /// to block-CSR ([`p3d_tensor::BlockSparseWeights`]) and used by
+    /// `forward`/`eval_into` from then on, `None` restores the dense
+    /// path. Containers forward the call to their children; the default
+    /// does nothing.
+    ///
+    /// **Precondition for bitwise-identical results:** the weights
+    /// outside enabled blocks must be exactly zero (true after
+    /// [`Param::set_mask`] with a block-derived mask, and kept true by
+    /// [`Param::apply_mask`] during masked retraining). The sparse path
+    /// then skips exactly the terms the dense kernel's zero-skip would
+    /// have skipped, in the same order — the CPU mirror of the
+    /// accelerator's lossless block skip.
+    fn install_block_patterns(&mut self, _get: &mut dyn FnMut(&str) -> Option<BlockPattern>) {}
 
     /// A short human-readable description, e.g. `"conv3d(16->32, 1x3x3)"`.
     fn describe(&self) -> String;

@@ -1,0 +1,1055 @@
+//! Packed, cache-blocked, register-tiled GEMM kernels and the
+//! block-sparse (`Tm x Tn` block-enable) compute path.
+//!
+//! # The canonical accumulation order
+//!
+//! Every kernel in this module — the naive reference, the packed
+//! microkernel, and the block-sparse variant — produces each output
+//! element by accumulating its **non-zero left-operand terms in
+//! increasing `k` order, left-associated, starting from `0.0`**, and
+//! skipping exactly-zero left entries without touching the right
+//! operand. Floating-point addition is not associative, so pinning this
+//! one order is what makes every kernel here *bitwise identical* to
+//! every other (and to the original scalar kernel this crate shipped
+//! with), at any `P3D_THREADS` setting:
+//!
+//! * the naive kernel walks `p = 0..k` per output row,
+//! * the packed microkernel holds an `MR x NR` register tile and walks
+//!   the full `p = 0..k` range per tile (there is deliberately **no
+//!   `Kc` blocking of the accumulation** — partial-sum re-association
+//!   would change results),
+//! * the block-sparse kernel walks only the *enabled* `k` ranges in
+//!   ascending order; on masked weights the skipped ranges are exactly
+//!   zero, so the sequence of non-zero terms — and therefore the
+//!   rounding — is identical to the dense kernel's.
+//!
+//! This is the CPU analogue of the paper's lossless block-skip
+//! argument: the accelerator may skip a pruned `Tm x Tn` block because
+//! the MAC array would have accumulated exact zeros for it; we may skip
+//! it because IEEE-754 addition of the remaining terms in the same
+//! order yields the same bits.
+//!
+//! # Zero-skip contract
+//!
+//! Shared with [`crate::Tensor::matmul`]: an exactly-zero entry of the
+//! *left* operand contributes nothing and never reads the right
+//! operand, so `NaN`/`Inf` sitting on the right of a pruned zero cannot
+//! leak into the output. Right-operand zeros are *not* skipped.
+//!
+//! # Packing scheme
+//!
+//! The right operand is repacked into column panels of [`NR`] columns,
+//! laid out `packed[jp][p][j]` (`jp` = panel, `p` = inner dimension,
+//! `j` = column within panel), zero-padded past `n`. Within a panel the
+//! `NR` values of one `p` step are contiguous, and any `k` sub-range of
+//! a panel is contiguous too — which is exactly what lets the
+//! block-sparse kernel stream the same packed buffer while visiting
+//! only enabled `k` ranges. Packing is pure data movement (no
+//! arithmetic), so it cannot affect results. The pack buffer is a
+//! thread-local, growable scratch: steady-state calls perform **zero
+//! heap allocations** once the scratch has grown to the largest shape
+//! seen on that thread.
+
+use crate::parallel::{max_threads, parallel_chunk_map};
+use std::cell::RefCell;
+
+/// Register-tile height: output rows held in accumulators at once.
+///
+/// `MR x NR = 32` f32 accumulators occupy 8 of the 16 XMM registers of
+/// the 128-bit SSE baseline this crate targets, leaving the rest for
+/// the two loaded right-operand vectors, the broadcast left-operand
+/// scalars, and loop-carried state — so the whole accumulator tile
+/// lives in registers for the full `k` traversal instead of bouncing
+/// through L1 like the naive kernel's output row does.
+pub const MR: usize = 4;
+
+/// Register-tile width: output columns held in accumulators at once.
+pub const NR: usize = 8;
+
+/// Column-block width for the naive reference kernel. 256 f32 columns
+/// of the output row plus the matching right-operand row segment fit
+/// comfortably in L1, so the `p`-loop re-reads hot lines instead of
+/// streaming DRAM.
+const GEMM_COL_BLOCK: usize = 256;
+
+/// Row count below which kernels stay serial: spawning scoped threads
+/// costs more than the multiply itself for tiny products.
+const GEMM_PARALLEL_MIN_ROWS: usize = 8;
+
+thread_local! {
+    /// Growable pack scratch, one per thread. Taken (not borrowed) for
+    /// the duration of a GEMM so re-entrant calls cannot conflict —
+    /// a nested call simply starts from an empty buffer.
+    static PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a zero-filled-on-growth scratch slice of exactly `len`
+/// floats, reusing the thread-local buffer across calls.
+fn with_pack_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    PACK_SCRATCH.with(|cell| {
+        let mut buf = cell.take();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        let r = f(&mut buf[..len]);
+        cell.replace(buf);
+        r
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference kernels (the crate's original scalar GEMM, kept verbatim)
+// ---------------------------------------------------------------------------
+
+/// The original scalar row-loop kernel:
+/// `[m, k] (row-major a) x [k, n] (row-major b) -> out [m, n]`.
+///
+/// Kept as the **reference implementation** the packed microkernel is
+/// differential-tested (and perf-gated) against, and as the dispatch
+/// target for shapes too small to amortise panel packing. Loop order is
+/// `i / jb / p / j`; the zero-skip branch hoists the left scalar out of
+/// the innermost loop.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_naive_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_naive_into: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_naive_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_naive_into: out length mismatch");
+    out.fill(0.0);
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let row_kernel = |i: usize, o_row: &mut [f32]| {
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut jb = 0;
+        while jb < n {
+            let je = (jb + GEMM_COL_BLOCK).min(n);
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // zero-skip: pruned left entry, block never multiplied
+                }
+                let b_seg = &b[p * n + jb..p * n + je];
+                for (o, &bv) in o_row[jb..je].iter_mut().zip(b_seg) {
+                    *o += av * bv;
+                }
+            }
+            jb = je;
+        }
+    };
+
+    if m >= GEMM_PARALLEL_MIN_ROWS {
+        parallel_chunk_map(out, n, row_kernel);
+    } else {
+        for (i, o_row) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, o_row);
+        }
+    }
+}
+
+/// The original scalar `A * B^T` kernel:
+/// `[m, k] (row-major a) x [n, k] (row-major b_nk) -> out [m, n]`.
+///
+/// Reads `b_nk[j * k + p]` directly — a cache-hostile stride-`k` walk
+/// in the innermost loop, which is exactly why the packed variant
+/// exists. Kept as the differential-test reference for the packed
+/// `nt` path.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_naive_nt_into(a: &[f32], m: usize, k: usize, b_nk: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_naive_nt_into: lhs length mismatch");
+    assert_eq!(b_nk.len(), n * k, "gemm_naive_nt_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_naive_nt_into: out length mismatch");
+    out.fill(0.0);
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let row_kernel = |i: usize, o_row: &mut [f32]| {
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut jb = 0;
+        while jb < n {
+            let je = (jb + GEMM_COL_BLOCK).min(n);
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // zero-skip: pruned left entry, block never multiplied
+                }
+                for (j, o) in o_row[jb..je].iter_mut().enumerate() {
+                    *o += av * b_nk[(jb + j) * k + p];
+                }
+            }
+            jb = je;
+        }
+    };
+
+    if m >= GEMM_PARALLEL_MIN_ROWS {
+        parallel_chunk_map(out, n, row_kernel);
+    } else {
+        for (i, o_row) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, o_row);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panel packing
+// ---------------------------------------------------------------------------
+
+/// Number of `NR`-column panels covering `n` output columns.
+fn panel_count(n: usize) -> usize {
+    n.div_ceil(NR)
+}
+
+/// Packs row-major `b [k, n]` into `NR`-column panels
+/// (`packed[jp*k*NR + p*NR + j]`), zero-padding columns past `n`.
+/// Panels are independent, so packing parallelises freely — it is pure
+/// data movement and cannot affect numeric results.
+fn pack_b_nn(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    parallel_chunk_map(packed, k * NR, |jp, panel| {
+        let j0 = jp * NR;
+        let jw = NR.min(n - j0);
+        for (p, prow) in panel.chunks_mut(NR).enumerate() {
+            prow[..jw].copy_from_slice(&b[p * n + j0..p * n + j0 + jw]);
+            prow[jw..].fill(0.0);
+        }
+    });
+}
+
+/// Packs `b_nk [n, k]` (the transposed operand of the `nt` product)
+/// into the same `NR`-column panel layout as [`pack_b_nn`]. Source rows
+/// are read contiguously; the stride-`k` walk that plagued the naive
+/// `nt` kernel happens once here, during packing, instead of `m` times
+/// in the inner loop.
+fn pack_b_nt(b_nk: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    parallel_chunk_map(packed, k * NR, |jp, panel| {
+        let j0 = jp * NR;
+        let jw = NR.min(n - j0);
+        for jj in 0..NR {
+            if jj < jw {
+                for (p, &v) in b_nk[(j0 + jj) * k..(j0 + jj) * k + k].iter().enumerate() {
+                    panel[p * NR + jj] = v;
+                }
+            } else {
+                for p in 0..k {
+                    panel[p * NR + jj] = 0.0;
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The MR x NR register-tile microkernel
+// ---------------------------------------------------------------------------
+
+/// Computes one `mr x NR` output tile (`mr <= MR`) into register
+/// accumulators: `acc[ir][j] = sum_p a[row0+ir][p] * panel[p][j]`.
+///
+/// Dispatches to the fully-unrolled [`microkernel_full`] for complete
+/// `MR`-row tiles (the steady state) and to a generic fallback for the
+/// `m % MR` tail. Both walk the **full** `p = 0..k` range so the
+/// accumulation order is canonical (see module docs).
+#[inline]
+fn microkernel(a_rows: &[&[f32]], panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    if let [r0, r1, r2, r3] = *a_rows {
+        microkernel_full(r0, r1, r2, r3, panel, acc);
+    } else {
+        microkernel_tail(a_rows, panel, acc);
+    }
+}
+
+/// The steady-state register tile: four named `[f32; NR]` accumulators
+/// live entirely in SIMD registers (`4 x NR/4 = 8` XMM on the SSE
+/// baseline) across the whole `k` traversal — the inner loop touches
+/// memory only to read one `NR`-wide panel row and four left scalars
+/// per `p` step, instead of the naive kernel's load+store of the output
+/// row on every step.
+///
+/// The `NR`-wide updates are branch-free with fixed trip counts, so
+/// they autovectorize; the zero-skip guard sits *outside* them, one
+/// scalar test per `(p, row)`, which honours the contract (a zero left
+/// entry never loads the right operand) while skipping all `NR`
+/// multiplies of a pruned weight at once. The zipped iterators carry
+/// the `r*.len() == k == panel.len() / NR` invariant, so the loop body
+/// is bounds-check-free.
+#[inline]
+fn microkernel_full(
+    r0: &[f32],
+    r1: &[f32],
+    r2: &[f32],
+    r3: &[f32],
+    panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    let mut c0 = [0.0f32; NR];
+    let mut c1 = [0.0f32; NR];
+    let mut c2 = [0.0f32; NR];
+    let mut c3 = [0.0f32; NR];
+    let rows = r0.iter().zip(r1).zip(r2.iter().zip(r3));
+    for ((( &a0, &a1), (&a2, &a3)), bvec) in rows.zip(panel.chunks_exact(NR)) {
+        let bv: &[f32; NR] = bvec.try_into().expect("panel chunk is NR wide");
+        if a0 != 0.0 {
+            for j in 0..NR {
+                c0[j] += a0 * bv[j];
+            }
+        }
+        if a1 != 0.0 {
+            for j in 0..NR {
+                c1[j] += a1 * bv[j];
+            }
+        }
+        if a2 != 0.0 {
+            for j in 0..NR {
+                c2[j] += a2 * bv[j];
+            }
+        }
+        if a3 != 0.0 {
+            for j in 0..NR {
+                c3[j] += a3 * bv[j];
+            }
+        }
+    }
+    acc[0] = c0;
+    acc[1] = c1;
+    acc[2] = c2;
+    acc[3] = c3;
+}
+
+/// Generic tile for the `m % MR` tail rows; identical arithmetic and
+/// contracts, no unrolling (runs at most once per output panel).
+fn microkernel_tail(a_rows: &[&[f32]], panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for row in acc.iter_mut() {
+        *row = [0.0; NR];
+    }
+    for (p, bvec) in panel.chunks_exact(NR).enumerate() {
+        for (ir, a_row) in a_rows.iter().enumerate() {
+            let av = a_row[p];
+            if av != 0.0 {
+                for (o, &bv) in acc[ir].iter_mut().zip(bvec) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Computes one `mr x jw` output tile — rows `row0 .. row0 + mr`
+/// against one packed panel — and writes the live columns
+/// `j0 .. j0 + jw` into `o_rows` (an `mr * n` row-major slice of the
+/// output whose first row is `row0`).
+#[allow(clippy::too_many_arguments)]
+fn packed_tile_into(
+    a: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    mr: usize,
+    panel: &[f32],
+    j0: usize,
+    jw: usize,
+    o_rows: &mut [f32],
+) {
+    let mut a_rows_buf: [&[f32]; MR] = [&[]; MR];
+    for (ir, slot) in a_rows_buf.iter_mut().enumerate().take(mr) {
+        let base = (row0 + ir) * k;
+        *slot = &a[base..base + k];
+    }
+    let mut acc = [[0.0f32; NR]; MR];
+    microkernel(&a_rows_buf[..mr], panel, &mut acc);
+    for (ir, row) in acc.iter().enumerate().take(mr) {
+        o_rows[ir * n + j0..ir * n + j0 + jw].copy_from_slice(&row[..jw]);
+    }
+}
+
+/// Shared driver for both packed orientations: packs `b` with `pack`,
+/// then sweeps the panels with the microkernel.
+///
+/// Each worker owns a contiguous band of output rows and walks the loop
+/// nest **panel-outer, row-tile-inner**: one `k x NR` panel (a few KB)
+/// stays L1-resident while every `MR`-row tile of the band consumes it,
+/// and the packed image is streamed exactly once per worker instead of
+/// once per row tile. The left operand is the re-read operand instead —
+/// `m x k` is by far the smaller matrix on the conv-as-GEMM shapes this
+/// crate cares about, so it sits in cache across panels.
+///
+/// Every output element is computed wholly inside one worker with the
+/// canonical accumulation order, so band boundaries (and therefore
+/// `P3D_THREADS`) cannot affect results bitwise.
+fn gemm_packed_driver(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    pack: impl Fn(&mut [f32]),
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let packed_len = panel_count(n) * k * NR;
+    with_pack_scratch(packed_len, |packed| {
+        pack(packed);
+        // Split the row blocks evenly over the available workers; each
+        // band is a whole number of MR-row tiles (bar the ragged end).
+        let blocks = m.div_ceil(MR);
+        let workers = max_threads().clamp(1, blocks);
+        let band_rows = blocks.div_ceil(workers) * MR;
+        parallel_chunk_map(out, band_rows * n, |ci, band| {
+            let row0 = ci * band_rows;
+            let rows = band.len() / n;
+            for jp in 0..panel_count(n) {
+                let j0 = jp * NR;
+                let jw = NR.min(n - j0);
+                let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
+                let mut rb = 0;
+                while rb < rows {
+                    let mr = MR.min(rows - rb);
+                    packed_tile_into(
+                        a,
+                        k,
+                        n,
+                        row0 + rb,
+                        mr,
+                        panel,
+                        j0,
+                        jw,
+                        &mut band[rb * n..(rb + mr) * n],
+                    );
+                    rb += mr;
+                }
+            }
+        });
+    });
+}
+
+/// Packed register-tiled GEMM:
+/// `[m, k] (row-major a) x [k, n] (row-major b) -> out [m, n]`.
+///
+/// Always takes the packed path (no small-shape dispatch) — exposed so
+/// differential tests can exercise edge tiles (`m < MR`, `n < NR`,
+/// `k = 1`) directly. Bitwise identical to [`gemm_naive_into`] on every
+/// input (see the module docs for why).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_packed_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_packed_into: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_packed_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_packed_into: out length mismatch");
+    gemm_packed_driver(a, m, k, n, out, |packed| pack_b_nn(b, k, n, packed));
+}
+
+/// Packed register-tiled `A * B^T`:
+/// `[m, k] (row-major a) x [n, k] (row-major b_nk) -> out [m, n]`.
+///
+/// The `B` panel is packed once (contiguous reads of `b_nk` rows), so
+/// the microkernel's inner loop is identical to [`gemm_packed_into`]'s
+/// — no strided reads survive into the hot loop. Bitwise identical to
+/// [`gemm_naive_nt_into`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_packed_nt_into(a: &[f32], m: usize, k: usize, b_nk: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_packed_nt_into: lhs length mismatch");
+    assert_eq!(b_nk.len(), n * k, "gemm_packed_nt_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_packed_nt_into: out length mismatch");
+    gemm_packed_driver(a, m, k, n, out, |packed| pack_b_nt(b_nk, k, n, packed));
+}
+
+/// `true` when panel packing pays for itself: enough output rows to
+/// amortise the `O(k n)` pack over, and at least one full `NR` panel.
+/// Both sides of the dispatch are bitwise identical, so this threshold
+/// is purely a performance choice.
+fn use_packed(m: usize, n: usize) -> bool {
+    m >= MR && n >= NR
+}
+
+/// Allocation-free GEMM into a caller-provided buffer:
+/// `[m, k] (row-major a) x [k, n] (row-major b) -> out [m, n]`.
+///
+/// This is the kernel behind [`crate::Tensor::matmul`]: it dispatches
+/// to the packed register-tiled microkernel ([`gemm_packed_into`]) for
+/// shapes that amortise packing and to the scalar reference
+/// ([`gemm_naive_into`]) otherwise. Both sides produce **bitwise
+/// identical** results (canonical accumulation order, see module docs),
+/// honour the left-operand zero-skip contract, and are reproducible at
+/// any `P3D_THREADS`. `out` is fully overwritten. "Allocation-free"
+/// holds in the steady state: the pack buffer is thread-local and
+/// reused across calls.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if use_packed(m, n) {
+        gemm_packed_into(a, m, k, b, n, out)
+    } else {
+        gemm_naive_into(a, m, k, b, n, out)
+    }
+}
+
+/// Allocation-free `A * B^T` into a caller-provided buffer:
+/// `[m, k] (row-major a) x [n, k] (row-major b_nk) -> out [m, n]`.
+///
+/// Dispatches like [`gemm_into`]; the packed side is
+/// [`gemm_packed_nt_into`], which fixes the naive variant's stride-`k`
+/// inner-loop reads by packing the `B` panel once. Bitwise identical to
+/// [`crate::Tensor::matmul_nt`] on the same operands.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_nt_into(a: &[f32], m: usize, k: usize, b_nk: &[f32], n: usize, out: &mut [f32]) {
+    if use_packed(m, n) {
+        gemm_packed_nt_into(a, m, k, b_nk, n, out)
+    } else {
+        gemm_naive_nt_into(a, m, k, b_nk, n, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block-sparse path
+// ---------------------------------------------------------------------------
+
+/// The `Tm x Tk` block-enable structure of a pruned weight matrix, in
+/// matrix coordinates.
+///
+/// This is the layer-agnostic mirror of the accelerator's block-enable
+/// bitmap (paper Fig. 2): the weight tensor, viewed as an `[m, k]`
+/// matrix (for a conv layer `m = M` output channels and
+/// `k = N * Kd*Kr*Kc`), is cut into `tm x tk` blocks, and `keep[bi *
+/// block_cols + bj]` says whether block `(bi, bj)` survived pruning.
+/// A `Tm x Tn` channel block of the paper maps to `tm = Tm`,
+/// `tk = Tn * kernel_volume`, because the `Tn` input channels of a
+/// block own a contiguous `k` range of the row-major im2col matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPattern {
+    /// Rows of the weight matrix (output channels).
+    pub m: usize,
+    /// Columns of the weight matrix (input channels x kernel volume).
+    pub k: usize,
+    /// Block height in rows.
+    pub tm: usize,
+    /// Block width in columns.
+    pub tk: usize,
+    /// Row-major `[block_rows() * block_cols()]` enable bitmap.
+    pub keep: Vec<bool>,
+}
+
+impl BlockPattern {
+    /// Number of block rows (`ceil(m / tm)`).
+    pub fn block_rows(&self) -> usize {
+        self.m.div_ceil(self.tm)
+    }
+
+    /// Number of block columns (`ceil(k / tk)`).
+    pub fn block_cols(&self) -> usize {
+        self.k.div_ceil(self.tk)
+    }
+
+    /// Panics unless the pattern is internally consistent.
+    fn validate(&self) {
+        assert!(self.tm > 0 && self.tk > 0, "BlockPattern: zero block dims");
+        assert_eq!(
+            self.keep.len(),
+            self.block_rows() * self.block_cols(),
+            "BlockPattern: keep bitmap length mismatch"
+        );
+    }
+
+    /// Fraction of blocks enabled (`1.0` for an empty grid).
+    pub fn enabled_fraction(&self) -> f32 {
+        if self.keep.is_empty() {
+            return 1.0;
+        }
+        self.keep.iter().filter(|&&b| b).count() as f32 / self.keep.len() as f32
+    }
+}
+
+/// A pruned weight matrix compiled to block-CSR: per block row, the
+/// ascending list of enabled block columns plus their packed values.
+///
+/// `values` stores, for each block row, each `MR`-row sub-panel's
+/// enabled entries as a compacted `[ks][MR]` panel (`ks` = enabled `k`
+/// count of that block row, rows zero-padded to `MR`), so the
+/// block-sparse kernel streams both operands contiguously. Because
+/// pruning leaves block *structure* fixed while retraining keeps
+/// updating the surviving values, [`BlockSparseWeights::refresh`]
+/// repacks values in place — `O(m k)` against the `O(m k n)` product —
+/// without reallocating.
+#[derive(Debug, Clone)]
+pub struct BlockSparseWeights {
+    m: usize,
+    k: usize,
+    tm: usize,
+    /// CSR row pointer into `col_idx` / `col_ranges`.
+    row_ptr: Vec<usize>,
+    /// Enabled block-column indices per block row, ascending.
+    col_idx: Vec<usize>,
+    /// The `[p0, p1)` k-range of each enabled block, aligned with
+    /// `col_idx`. Ascending within a row — this is what pins the
+    /// canonical accumulation order.
+    col_ranges: Vec<(usize, usize)>,
+    /// Packed enabled values (see type docs for layout).
+    values: Vec<f32>,
+    /// Offset of each block row's packed values; `len = block_rows + 1`.
+    row_values_ofs: Vec<usize>,
+    total_blocks: usize,
+}
+
+impl BlockSparseWeights {
+    /// Compiles masked dense weights `a` (`[m, k]` row-major, entries
+    /// outside enabled blocks **must already be zero**) against
+    /// `pattern` into block-CSR form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != pattern.m * pattern.k` or the pattern is
+    /// inconsistent.
+    pub fn compile(a: &[f32], pattern: &BlockPattern) -> Self {
+        pattern.validate();
+        assert_eq!(
+            a.len(),
+            pattern.m * pattern.k,
+            "BlockSparseWeights::compile: weight length mismatch"
+        );
+        let (brows, bcols) = (pattern.block_rows(), pattern.block_cols());
+        let mut row_ptr = Vec::with_capacity(brows + 1);
+        let mut col_idx = Vec::new();
+        let mut col_ranges = Vec::new();
+        let mut row_values_ofs = Vec::with_capacity(brows + 1);
+        let mut values_len = 0usize;
+        row_ptr.push(0);
+        row_values_ofs.push(0);
+        for bi in 0..brows {
+            let rows_in = pattern.tm.min(pattern.m - bi * pattern.tm);
+            let mut ks = 0usize;
+            for bj in 0..bcols {
+                if pattern.keep[bi * bcols + bj] {
+                    let p0 = bj * pattern.tk;
+                    let p1 = (p0 + pattern.tk).min(pattern.k);
+                    col_idx.push(bj);
+                    col_ranges.push((p0, p1));
+                    ks += p1 - p0;
+                }
+            }
+            row_ptr.push(col_idx.len());
+            values_len += rows_in.div_ceil(MR) * ks * MR;
+            row_values_ofs.push(values_len);
+        }
+        let mut bs = BlockSparseWeights {
+            m: pattern.m,
+            k: pattern.k,
+            tm: pattern.tm,
+            row_ptr,
+            col_idx,
+            col_ranges,
+            values: vec![0.0; values_len],
+            row_values_ofs,
+            total_blocks: brows * bcols,
+        };
+        bs.refresh(a);
+        bs
+    }
+
+    /// Repacks the enabled-block values from `a` without changing the
+    /// block structure or reallocating — the retraining-loop fast path
+    /// (weights change every step; enabled blocks do not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` disagrees with the compiled shape.
+    pub fn refresh(&mut self, a: &[f32]) {
+        assert_eq!(
+            a.len(),
+            self.m * self.k,
+            "BlockSparseWeights::refresh: weight length mismatch"
+        );
+        for bi in 0..self.block_rows() {
+            let i0 = bi * self.tm;
+            let rows_in = self.tm.min(self.m - i0);
+            let ranges = &self.col_ranges[self.row_ptr[bi]..self.row_ptr[bi + 1]];
+            let ks: usize = ranges.iter().map(|&(p0, p1)| p1 - p0).sum();
+            let base = self.row_values_ofs[bi];
+            for s in 0..rows_in.div_ceil(MR) {
+                let sub = &mut self.values[base + s * ks * MR..base + (s + 1) * ks * MR];
+                let mut q = 0usize;
+                for &(p0, p1) in ranges {
+                    for p in p0..p1 {
+                        for ir in 0..MR {
+                            let r = s * MR + ir;
+                            sub[q * MR + ir] = if r < rows_in {
+                                a[(i0 + r) * self.k + p]
+                            } else {
+                                0.0 // row padding past the block row
+                            };
+                        }
+                        q += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rows of the compiled weight matrix.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Columns (inner dimension) of the compiled weight matrix.
+    pub fn cols(&self) -> usize {
+        self.k
+    }
+
+    /// Number of block rows.
+    pub fn block_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of enabled blocks (block-CSR entries).
+    pub fn enabled_blocks(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Total blocks in the grid, enabled or not.
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+}
+
+/// Block-sparse GEMM: `w (compiled [m, k]) x b [k, n] -> out [m, n]`,
+/// visiting **only enabled blocks**.
+///
+/// The right operand is packed exactly as in [`gemm_packed_into`]; each
+/// block row then streams its compacted value panels against the
+/// enabled `k` sub-ranges of the packed panels. Because disabled blocks
+/// of the compiled weights are exactly zero and enabled ranges are
+/// visited in ascending `k` order, the output is **bitwise identical**
+/// to [`gemm_into`] on the masked dense weights — the CPU mirror of the
+/// accelerator's lossless block skip. Work scales with the enabled
+/// fraction, which is where the pruning speedup comes from.
+///
+/// Parallelism mirrors the dense packed driver: each worker owns a
+/// contiguous band of whole block rows and walks **panel-outer,
+/// block-row-inner**, so one packed panel stays L1-resident across the
+/// band and the packed image is streamed at most once per worker.
+/// Per-row arithmetic is thread-count independent, so results are
+/// bitwise-reproducible across `P3D_THREADS`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the compiled dimensions.
+pub fn gemm_bs_into(w: &BlockSparseWeights, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(b.len(), w.k * n, "gemm_bs_into: rhs length mismatch");
+    assert_eq!(out.len(), w.m * n, "gemm_bs_into: out length mismatch");
+    if w.m == 0 || n == 0 {
+        return;
+    }
+    let packed_len = panel_count(n) * w.k * NR;
+    with_pack_scratch(packed_len, |packed| {
+        pack_b_nn(b, w.k, n, packed);
+        let brows = w.block_rows();
+        let workers = max_threads().clamp(1, brows);
+        let band_brows = brows.div_ceil(workers);
+        parallel_chunk_map(out, band_brows * w.tm * n, |ci, band| {
+            let bi0 = ci * band_brows;
+            let band_rows = band.len() / n;
+            for jp in 0..panel_count(n) {
+                let j0 = jp * NR;
+                let jw = NR.min(n - j0);
+                let panel = &packed[jp * w.k * NR..(jp + 1) * w.k * NR];
+                for bl in 0..band_rows.div_ceil(w.tm) {
+                    let local_r0 = bl * w.tm;
+                    let rows_in = w.tm.min(band_rows - local_r0);
+                    block_row_panel(
+                        w,
+                        bi0 + bl,
+                        rows_in,
+                        panel,
+                        j0,
+                        jw,
+                        n,
+                        &mut band[local_r0 * n..(local_r0 + rows_in) * n],
+                    );
+                }
+            }
+        });
+    });
+}
+
+/// Computes one block row of the block-sparse product against a single
+/// packed panel, writing columns `j0 .. j0 + jw` of the block row's
+/// `rows_in * n` output slice `o_rows`.
+#[allow(clippy::too_many_arguments)]
+fn block_row_panel(
+    w: &BlockSparseWeights,
+    bi: usize,
+    rows_in: usize,
+    panel: &[f32],
+    j0: usize,
+    jw: usize,
+    n: usize,
+    o_rows: &mut [f32],
+) {
+    let ranges = &w.col_ranges[w.row_ptr[bi]..w.row_ptr[bi + 1]];
+    let ks: usize = ranges.iter().map(|&(p0, p1)| p1 - p0).sum();
+    let base = w.row_values_ofs[bi];
+    let mut acc = [[0.0f32; NR]; MR];
+    for s in 0..rows_in.div_ceil(MR) {
+        let r0 = s * MR;
+        let mr = MR.min(rows_in - r0);
+        let sub = &w.values[base + s * ks * MR..base + (s + 1) * ks * MR];
+        if mr == MR {
+            bs_tile_full(ranges, sub, panel, &mut acc);
+        } else {
+            bs_tile_tail(ranges, sub, panel, mr, &mut acc);
+        }
+        for (ir, row) in acc.iter().enumerate().take(mr) {
+            let dst = (r0 + ir) * n + j0;
+            o_rows[dst..dst + jw].copy_from_slice(&row[..jw]);
+        }
+    }
+}
+
+/// The unrolled steady-state block-sparse tile: one full `MR`-row
+/// sub-panel against the enabled `k` ranges of one packed panel, with
+/// the same named-register accumulators (and the same zero-skip guard
+/// and ascending-`k` accumulation order) as [`microkernel_full`].
+fn bs_tile_full(ranges: &[(usize, usize)], sub: &[f32], panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let mut c0 = [0.0f32; NR];
+    let mut c1 = [0.0f32; NR];
+    let mut c2 = [0.0f32; NR];
+    let mut c3 = [0.0f32; NR];
+    let mut q = 0usize;
+    for &(p0, p1) in ranges {
+        let len = p1 - p0;
+        let bpart = panel[p0 * NR..p1 * NR].chunks_exact(NR);
+        let apart = sub[q * MR..(q + len) * MR].chunks_exact(MR);
+        for (avs, bvec) in apart.zip(bpart) {
+            let a: &[f32; MR] = avs.try_into().expect("sub chunk is MR wide");
+            let bv: &[f32; NR] = bvec.try_into().expect("panel chunk is NR wide");
+            if a[0] != 0.0 {
+                for j in 0..NR {
+                    c0[j] += a[0] * bv[j];
+                }
+            }
+            if a[1] != 0.0 {
+                for j in 0..NR {
+                    c1[j] += a[1] * bv[j];
+                }
+            }
+            if a[2] != 0.0 {
+                for j in 0..NR {
+                    c2[j] += a[2] * bv[j];
+                }
+            }
+            if a[3] != 0.0 {
+                for j in 0..NR {
+                    c3[j] += a[3] * bv[j];
+                }
+            }
+        }
+        q += len;
+    }
+    acc[0] = c0;
+    acc[1] = c1;
+    acc[2] = c2;
+    acc[3] = c3;
+}
+
+/// Generic tile for the `rows_in % MR` tail sub-panel; identical
+/// arithmetic and contracts, no unrolling.
+fn bs_tile_tail(
+    ranges: &[(usize, usize)],
+    sub: &[f32],
+    panel: &[f32],
+    mr: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    for row in acc.iter_mut() {
+        *row = [0.0; NR];
+    }
+    let mut q = 0usize;
+    for &(p0, p1) in ranges {
+        for p in p0..p1 {
+            let bvec = &panel[p * NR..p * NR + NR];
+            let avs = &sub[q * MR..q * MR + MR];
+            for (ir, &av) in avs.iter().enumerate().take(mr) {
+                if av != 0.0 {
+                    for (o, &bv) in acc[ir].iter_mut().zip(bvec) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            q += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::set_thread_override;
+    use crate::TensorRng;
+
+    fn dense_masked(a: &[f32], pat: &BlockPattern) -> Vec<f32> {
+        let bcols = pat.block_cols();
+        let mut out = a.to_vec();
+        for (i, v) in out.iter_mut().enumerate() {
+            let (r, c) = (i / pat.k, i % pat.k);
+            if !pat.keep[(r / pat.tm) * bcols + c / pat.tk] {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn packed_matches_naive_bitwise() {
+        let mut rng = TensorRng::seed(11);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 1, 16),
+            (5, 9, 17),
+            (8, 32, 33),
+            (16, 27, 40),
+            (2, 13, 100),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let mut naive = vec![0.0f32; m * n];
+            let mut packed = vec![1.0f32; m * n]; // poisoned: must be overwritten
+            gemm_naive_into(&a, m, k, &b, n, &mut naive);
+            gemm_packed_into(&a, m, k, &b, n, &mut packed);
+            assert_eq!(naive, packed, "shape ({m},{k},{n})");
+
+            let bt: Vec<f32> = (0..n * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let mut naive_nt = vec![0.0f32; m * n];
+            let mut packed_nt = vec![1.0f32; m * n];
+            gemm_naive_nt_into(&a, m, k, &bt, n, &mut naive_nt);
+            gemm_packed_nt_into(&a, m, k, &bt, n, &mut packed_nt);
+            assert_eq!(naive_nt, packed_nt, "nt shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn packed_bitwise_stable_across_threads() {
+        let mut rng = TensorRng::seed(3);
+        let (m, k, n) = (13, 21, 37);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut reference: Option<Vec<f32>> = None;
+        for threads in [1, 2, 5] {
+            set_thread_override(Some(threads));
+            let mut out = vec![0.0f32; m * n];
+            gemm_packed_into(&a, m, k, &b, n, &mut out);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "threads={threads}"),
+            }
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn packed_zero_skip_contract() {
+        // A zero left entry must not touch the right operand: poison the
+        // corresponding B rows with NaN.
+        let (m, k, n) = (5, 3, 20);
+        let mut a = vec![0.0f32; m * k];
+        for i in 0..m {
+            a[i * k + 1] = (i + 1) as f32; // only p = 1 is non-zero
+        }
+        let mut b = vec![f32::NAN; k * n];
+        for j in 0..n {
+            b[n + j] = (j % 7) as f32; // row p = 1 is finite
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm_packed_into(&a, m, k, &b, n, &mut out);
+        assert!(out.iter().all(|v| v.is_finite()), "NaN leaked past a zero");
+        // Right-operand zeros are NOT skipped: NaN on the left propagates.
+        a[1] = f32::NAN;
+        gemm_packed_into(&a, m, k, &b, n, &mut out);
+        assert!(out[..n].iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn block_sparse_matches_dense_bitwise() {
+        let mut rng = TensorRng::seed(29);
+        for &(m, k, tm, tk, n) in &[
+            (16usize, 24usize, 4usize, 6usize, 33usize),
+            (10, 20, 3, 7, 16), // ragged edge blocks
+            (4, 8, 4, 8, 5),    // single block
+            (7, 5, 2, 2, 1),
+        ] {
+            let pat = BlockPattern {
+                m,
+                k,
+                tm,
+                tk,
+                keep: (0..m.div_ceil(tm) * k.div_ceil(tk))
+                    .map(|i| i % 3 != 0)
+                    .collect(),
+            };
+            let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let masked = dense_masked(&a, &pat);
+            let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let bs = BlockSparseWeights::compile(&masked, &pat);
+            let mut dense = vec![0.0f32; m * n];
+            let mut sparse = vec![1.0f32; m * n];
+            gemm_into(&masked, m, k, &b, n, &mut dense);
+            gemm_bs_into(&bs, &b, n, &mut sparse);
+            assert_eq!(dense, sparse, "shape ({m},{k},{tm},{tk},{n})");
+        }
+    }
+
+    #[test]
+    fn block_sparse_refresh_tracks_weight_updates() {
+        let mut rng = TensorRng::seed(7);
+        let pat = BlockPattern {
+            m: 8,
+            k: 12,
+            tm: 4,
+            tk: 4,
+            keep: vec![true, false, true, false, true, true],
+        };
+        let a: Vec<f32> = (0..96).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let masked = dense_masked(&a, &pat);
+        let mut bs = BlockSparseWeights::compile(&masked, &pat);
+        assert_eq!(bs.enabled_blocks(), 4);
+        assert_eq!(bs.total_blocks(), 6);
+        // Update weights (as a retraining step would), refresh, recheck.
+        let a2: Vec<f32> = (0..96).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let masked2 = dense_masked(&a2, &pat);
+        bs.refresh(&masked2);
+        let b: Vec<f32> = (0..12 * 9).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut dense = vec![0.0f32; 8 * 9];
+        let mut sparse = vec![0.0f32; 8 * 9];
+        gemm_into(&masked2, 8, 12, &b, 9, &mut dense);
+        gemm_bs_into(&bs, &b, 9, &mut sparse);
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn block_sparse_all_disabled_is_zero() {
+        let pat = BlockPattern {
+            m: 6,
+            k: 6,
+            tm: 3,
+            tk: 3,
+            keep: vec![false; 4],
+        };
+        let bs = BlockSparseWeights::compile(&[0.0; 36], &pat);
+        let b = vec![f32::NAN; 6 * 4]; // never touched: all blocks skipped
+        let mut out = vec![1.0f32; 6 * 4];
+        gemm_bs_into(&bs, &b, 4, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

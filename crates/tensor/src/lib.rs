@@ -14,6 +14,9 @@
 //! * [`Fixed16`] — the paper's 16-bit fixed-point format (1 sign bit,
 //!   7 integer bits, 8 fractional bits) with saturating arithmetic and the
 //!   wide-accumulator MAC semantics of an FPGA DSP slice,
+//! * [`gemm`] — the packed, register-tiled GEMM microkernel and the
+//!   block-sparse (`Tm x Tn` block-enable) compute path behind every
+//!   `matmul` in the workspace,
 //! * [`rng`] — seeded random initialisation (uniform, normal, Kaiming),
 //! * [`parallel`] — the scoped-thread parallel-for layer behind the
 //!   multi-threaded GEMM and convolution kernels (`P3D_THREADS`).
@@ -31,12 +34,14 @@
 //! ```
 
 pub mod fixed;
+pub mod gemm;
 pub mod parallel;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
 
 pub use fixed::{Fixed16, FixedTensor};
+pub use gemm::{gemm_bs_into, gemm_into, gemm_nt_into, BlockPattern, BlockSparseWeights};
 pub use rng::TensorRng;
 pub use shape::Shape;
-pub use tensor::{gemm_into, gemm_nt_into, Tensor};
+pub use tensor::Tensor;

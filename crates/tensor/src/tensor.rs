@@ -1,6 +1,10 @@
 //! Dense, row-major `f32` tensors.
 
 use crate::shape::Shape;
+// Re-exported here for backwards compatibility: these kernels lived in
+// this module before the packed/block-sparse rework moved them to
+// [`crate::gemm`].
+pub use crate::gemm::{gemm_into, gemm_nt_into};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
@@ -308,18 +312,21 @@ impl Tensor {
 
     /// `A * B^T` for rank-2 tensors: `[m, k] x [n, k] -> [m, n]`.
     ///
-    /// Used by convolution backward passes. `B^T` is materialised once
-    /// (`O(kn)`, negligible next to the `O(mkn)` product) so the inner
-    /// kernel — and therefore the zero-skip contract, see
-    /// [`Tensor::matmul`] — is byte-for-byte the same as `matmul`'s.
+    /// Used by convolution backward passes. Routes through
+    /// [`gemm_nt_into`], whose packed side folds the transpose into the
+    /// `B`-panel packing — no `B^T` buffer is materialised, and the
+    /// accumulation order (and therefore the zero-skip contract, see
+    /// [`Tensor::matmul`]) is byte-for-byte the same as `matmul`'s on
+    /// the transposed operand.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.rank(), 2, "matmul_nt lhs must be rank-2");
         assert_eq!(other.shape.rank(), 2, "matmul_nt rhs must be rank-2");
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let (n, k2) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
-        let bt = other.transpose2();
-        gemm_zero_skip(&self.data, m, k, bt.data(), n)
+        let mut out = vec![0.0f32; m * n];
+        gemm_nt_into(&self.data, m, k, &other.data, n, &mut out);
+        Tensor::from_vec(Shape::d2(m, n), out)
     }
 
     /// `A^T * B` for rank-2 tensors: `[k, m] x [k, n] -> [m, n]`.
@@ -353,132 +360,22 @@ impl Tensor {
     }
 }
 
-/// Column-block width for the shared GEMM kernel. 256 f32 columns of the
-/// output row plus the matching right-operand row segment fit comfortably
-/// in L1, so the `p`-loop re-reads hot lines instead of streaming DRAM.
-const GEMM_COL_BLOCK: usize = 256;
-
-/// Row count below which the kernel stays serial: spawning scoped threads
-/// costs more than the multiply itself for tiny products.
-const GEMM_PARALLEL_MIN_ROWS: usize = 8;
-
-/// Shared kernel behind all three `matmul*` variants:
+/// The kernel behind all three `matmul*` variants:
 /// `[m, k] (row-major a) x [k, n] (row-major b) -> [m, n]`.
 ///
-/// Loop order is `i / jb / p / j` (row, column block, inner dim, column):
-/// each output row is produced by one thread, accumulating rank-1 updates
-/// a column block at a time. The zero-skip branch `a[i*k + p] == 0.0`
-/// hoists the *left* operand scalar out of the innermost loop, so a
-/// pruned (exactly-zero) left entry never touches the right operand —
-/// the CPU analogue of the FPGA's block-skip datapath, and the reason
-/// NaN/Inf on the right of a zero cannot leak into the output.
-///
-/// Rows are distributed with [`crate::parallel::parallel_chunk_map`];
-/// every row's arithmetic is identical regardless of thread count, so
-/// results are bitwise-reproducible across `P3D_THREADS` settings.
+/// Routes through [`crate::gemm::gemm_into`] — the packed
+/// register-tiled microkernel for shapes that amortise panel packing,
+/// the scalar reference otherwise. Both sides accumulate every output
+/// element's non-zero terms in increasing-`k` order (the canonical
+/// order, see the [`crate::gemm`] module docs), so results are bitwise
+/// identical to each other, to the crate's original scalar kernel, and
+/// across `P3D_THREADS` settings. The zero-skip branch on the *left*
+/// operand means a pruned (exactly-zero) left entry never touches the
+/// right operand — the CPU analogue of the FPGA's block-skip datapath.
 fn gemm_zero_skip(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     gemm_into(a, m, k, b, n, &mut out);
     Tensor::from_vec(Shape::d2(m, n), out)
-}
-
-/// Allocation-free GEMM into a caller-provided buffer:
-/// `[m, k] (row-major a) x [k, n] (row-major b) -> out [m, n]`.
-///
-/// This is the exact kernel behind [`Tensor::matmul`] — same loop order
-/// (`i / jb / p / j`), same cache blocking, same left-operand
-/// **zero-skip contract** — exposed for the inference engine's
-/// preallocated-arena hot path, where the output buffer is reused across
-/// forwards. `out` is fully overwritten (zeroed first), so stale
-/// contents of a reused buffer never leak through. Results are
-/// bitwise identical to `matmul` at any `P3D_THREADS`.
-///
-/// # Panics
-///
-/// Panics if any slice length disagrees with the stated dimensions.
-pub fn gemm_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "gemm_into: lhs length mismatch");
-    assert_eq!(b.len(), k * n, "gemm_into: rhs length mismatch");
-    assert_eq!(out.len(), m * n, "gemm_into: out length mismatch");
-    out.fill(0.0);
-    if m == 0 || n == 0 {
-        return;
-    }
-
-    let row_kernel = |i: usize, o_row: &mut [f32]| {
-        let a_row = &a[i * k..(i + 1) * k];
-        let mut jb = 0;
-        while jb < n {
-            let je = (jb + GEMM_COL_BLOCK).min(n);
-            for (p, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue; // zero-skip: pruned left entry, block never multiplied
-                }
-                let b_seg = &b[p * n + jb..p * n + je];
-                for (o, &bv) in o_row[jb..je].iter_mut().zip(b_seg) {
-                    *o += av * bv;
-                }
-            }
-            jb = je;
-        }
-    };
-
-    if m >= GEMM_PARALLEL_MIN_ROWS {
-        crate::parallel::parallel_chunk_map(out, n, row_kernel);
-    } else {
-        for (i, o_row) in out.chunks_mut(n).enumerate() {
-            row_kernel(i, o_row);
-        }
-    }
-}
-
-/// Allocation-free `A * B^T` into a caller-provided buffer:
-/// `[m, k] (row-major a) x [n, k] (row-major b_nk) -> out [m, n]`.
-///
-/// Unlike [`Tensor::matmul_nt`], which materialises `B^T` once and then
-/// runs the shared kernel, this variant reads `b_nk[j * k + p]` directly
-/// (`b_nk[j*k + p] == bt[p*n + j]`), so no transpose buffer is
-/// allocated. The accumulation order is identical to `matmul_nt`'s —
-/// column block by column block, `p` outer, `j` inner — so outputs are
-/// **bitwise identical** to `matmul_nt`. The zero-skip contract (left
-/// operand) is preserved.
-///
-/// # Panics
-///
-/// Panics if any slice length disagrees with the stated dimensions.
-pub fn gemm_nt_into(a: &[f32], m: usize, k: usize, b_nk: &[f32], n: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "gemm_nt_into: lhs length mismatch");
-    assert_eq!(b_nk.len(), n * k, "gemm_nt_into: rhs length mismatch");
-    assert_eq!(out.len(), m * n, "gemm_nt_into: out length mismatch");
-    out.fill(0.0);
-    if m == 0 || n == 0 {
-        return;
-    }
-
-    let row_kernel = |i: usize, o_row: &mut [f32]| {
-        let a_row = &a[i * k..(i + 1) * k];
-        let mut jb = 0;
-        while jb < n {
-            let je = (jb + GEMM_COL_BLOCK).min(n);
-            for (p, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue; // zero-skip: pruned left entry, block never multiplied
-                }
-                for (j, o) in o_row[jb..je].iter_mut().enumerate() {
-                    *o += av * b_nk[(jb + j) * k + p];
-                }
-            }
-            jb = je;
-        }
-    };
-
-    if m >= GEMM_PARALLEL_MIN_ROWS {
-        crate::parallel::parallel_chunk_map(out, n, row_kernel);
-    } else {
-        for (i, o_row) in out.chunks_mut(n).enumerate() {
-            row_kernel(i, o_row);
-        }
-    }
 }
 
 impl fmt::Debug for Tensor {

@@ -1,0 +1,223 @@
+//! Property-based differential tests for the packed GEMM microkernel and
+//! the block-sparse kernel.
+//!
+//! Every kernel in `p3d_tensor::gemm` promises the *canonical
+//! accumulation order*: each output element sums its non-zero left-hand
+//! terms in increasing `k`, left-associated, starting from `0.0`, with
+//! exactly-zero left entries skipped. These tests pin that promise
+//! differentially — packed vs naive, block-sparse vs dense-on-masked
+//! weights — demanding **bitwise** equality on random shapes, including
+//! the edge tiles (`m < MR`, `n < NR`, `k = 1`) the dispatcher would
+//! normally route to the naive kernel.
+
+use p3d_tensor::gemm::{
+    gemm_naive_into, gemm_naive_nt_into, gemm_packed_into, gemm_packed_nt_into, MR, NR,
+};
+use p3d_tensor::{gemm_bs_into, gemm_into, gemm_nt_into, BlockPattern, BlockSparseWeights};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random f32s in [-1, 1), with an exact-zero
+/// fraction so the zero-skip path is exercised on every case.
+fn values(len: usize, seed: u64, zero_every: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..len)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if zero_every > 0 && i % zero_every == 0 {
+                0.0
+            } else {
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            }
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The packed microkernel path is bitwise identical to the naive
+    /// kernel on arbitrary shapes — including edge tiles smaller than
+    /// one MR x NR register tile, forced through `gemm_packed_into`
+    /// directly (the public `gemm_into` would dispatch those to the
+    /// naive kernel and make the test vacuous).
+    #[test]
+    fn packed_bitwise_equals_naive(
+        m in 1usize..3 * MR + 2,
+        k in 1usize..24,
+        n in 1usize..2 * NR + 3,
+        seed in any::<u64>(),
+        zero_every in 0usize..5,
+    ) {
+        let a = values(m * k, seed, zero_every);
+        let b = values(k * n, seed ^ 0xb0b, 0);
+        let mut naive = vec![f32::NAN; m * n];
+        let mut packed = vec![f32::NAN; m * n];
+        gemm_naive_into(&a, m, k, &b, n, &mut naive);
+        gemm_packed_into(&a, m, k, &b, n, &mut packed);
+        prop_assert_eq!(bits(&naive), bits(&packed));
+        // And the public dispatcher agrees with both.
+        let mut dispatched = vec![f32::NAN; m * n];
+        gemm_into(&a, m, k, &b, n, &mut dispatched);
+        prop_assert_eq!(bits(&naive), bits(&dispatched));
+    }
+
+    /// Same for the transposed-B (`b` stored `[n, k]`) variant used by
+    /// `matmul_nt` and the conv backward-weights path.
+    #[test]
+    fn packed_nt_bitwise_equals_naive_nt(
+        m in 1usize..3 * MR + 2,
+        k in 1usize..24,
+        n in 1usize..2 * NR + 3,
+        seed in any::<u64>(),
+        zero_every in 0usize..5,
+    ) {
+        let a = values(m * k, seed, zero_every);
+        let b_nk = values(n * k, seed ^ 0xcafe, 0);
+        let mut naive = vec![f32::NAN; m * n];
+        let mut packed = vec![f32::NAN; m * n];
+        gemm_naive_nt_into(&a, m, k, &b_nk, n, &mut naive);
+        gemm_packed_nt_into(&a, m, k, &b_nk, n, &mut packed);
+        prop_assert_eq!(bits(&naive), bits(&packed));
+        let mut dispatched = vec![f32::NAN; m * n];
+        gemm_nt_into(&a, m, k, &b_nk, n, &mut dispatched);
+        prop_assert_eq!(bits(&naive), bits(&dispatched));
+    }
+
+    /// Exactly-zero left entries never touch the right operand: NaNs in
+    /// B columns that only meet zero A entries cannot leak into the
+    /// output of either kernel.
+    #[test]
+    fn zero_left_rows_never_read_b(
+        m in 1usize..2 * MR + 1,
+        k in 1usize..12,
+        n in 1usize..NR + 5,
+        seed in any::<u64>(),
+        poisoned_p in 0usize..12,
+    ) {
+        let poisoned_p = poisoned_p % k;
+        let mut a = values(m * k, seed, 3);
+        // Zero the whole A column `poisoned_p` and poison the matching
+        // B row: any read of it would surface as NaN.
+        for r in 0..m {
+            a[r * k + poisoned_p] = 0.0;
+        }
+        let mut b = values(k * n, seed ^ 0xdead, 0);
+        for j in 0..n {
+            b[poisoned_p * n + j] = f32::NAN;
+        }
+        for out in [
+            {
+                let mut o = vec![0.0f32; m * n];
+                gemm_naive_into(&a, m, k, &b, n, &mut o);
+                o
+            },
+            {
+                let mut o = vec![0.0f32; m * n];
+                gemm_packed_into(&a, m, k, &b, n, &mut o);
+                o
+            },
+        ] {
+            prop_assert!(
+                out.iter().all(|x| !x.is_nan()),
+                "a kernel read a B row guarded by exact zeros"
+            );
+        }
+    }
+
+    /// The block-sparse kernel is bitwise identical to the dense kernels
+    /// on masked weights, over random grids, block shapes (including
+    /// ragged edges where `tm`/`tk` do not divide `m`/`k`), and random
+    /// keep bitmaps. Weights outside enabled blocks are zeroed first —
+    /// the pruned-checkpoint precondition under which skipping is exact.
+    #[test]
+    fn block_sparse_bitwise_equals_dense_on_masked_weights(
+        tm in 1usize..6,
+        tk in 1usize..7,
+        brows in 1usize..4,
+        bcols in 1usize..4,
+        ragged_m in 0usize..3,
+        ragged_k in 0usize..4,
+        n in 1usize..NR + 9,
+        seed in any::<u64>(),
+        keep in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        let m = (brows * tm).saturating_sub(ragged_m).max(1);
+        let k = (bcols * tk).saturating_sub(ragged_k).max(1);
+        let pattern = BlockPattern {
+            m,
+            k,
+            tm,
+            tk,
+            keep: (0..m.div_ceil(tm) * k.div_ceil(tk))
+                .map(|i| keep[i % keep.len()])
+                .collect(),
+        };
+        let mut a = values(m * k, seed, 0);
+        // Enforce the precondition: disabled blocks hold exact zeros.
+        for bi in 0..m.div_ceil(tm) {
+            for bj in 0..k.div_ceil(tk) {
+                if pattern.keep[bi * k.div_ceil(tk) + bj] {
+                    continue;
+                }
+                for r in bi * tm..((bi + 1) * tm).min(m) {
+                    for c in bj * tk..((bj + 1) * tk).min(k) {
+                        a[r * k + c] = 0.0;
+                    }
+                }
+            }
+        }
+        let b = values(k * n, seed ^ 0xfeed, 0);
+        let w = BlockSparseWeights::compile(&a, &pattern);
+        let mut dense = vec![f32::NAN; m * n];
+        let mut sparse = vec![f32::NAN; m * n];
+        gemm_into(&a, m, k, &b, n, &mut dense);
+        gemm_bs_into(&w, &b, n, &mut sparse);
+        prop_assert_eq!(bits(&dense), bits(&sparse));
+    }
+
+    /// `refresh` re-reads the weights without recompiling: after an
+    /// in-place weight update (same sparsity pattern), the sparse kernel
+    /// tracks the new values bitwise.
+    #[test]
+    fn refresh_tracks_updates_bitwise(
+        n in 1usize..NR + 3,
+        seed in any::<u64>(),
+        keep in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        let (m, k, tm, tk) = (6usize, 8usize, 3usize, 4usize);
+        let pattern = BlockPattern { m, k, tm, tk, keep: keep.clone() };
+        let zero_disabled = |a: &mut [f32]| {
+            for bi in 0..2 {
+                for bj in 0..2 {
+                    if keep[bi * 2 + bj] {
+                        continue;
+                    }
+                    for r in bi * tm..(bi + 1) * tm {
+                        for c in bj * tk..(bj + 1) * tk {
+                            a[r * k + c] = 0.0;
+                        }
+                    }
+                }
+            }
+        };
+        let mut a = values(m * k, seed, 0);
+        zero_disabled(&mut a);
+        let mut w = BlockSparseWeights::compile(&a, &pattern);
+        // Simulate a training step: new values, same pattern.
+        let mut a2 = values(m * k, seed ^ 0x5eed, 0);
+        zero_disabled(&mut a2);
+        w.refresh(&a2);
+        let b = values(k * n, seed ^ 0xabc, 0);
+        let mut dense = vec![f32::NAN; m * n];
+        let mut sparse = vec![f32::NAN; m * n];
+        gemm_into(&a2, m, k, &b, n, &mut dense);
+        gemm_bs_into(&w, &b, n, &mut sparse);
+        prop_assert_eq!(bits(&dense), bits(&sparse));
+    }
+}

@@ -50,4 +50,29 @@ cargo test -q -p p3d-infer --test determinism
 echo "==> zero-allocation steady state"
 cargo test -q -p p3d-infer --test zero_alloc
 
+# The packed-GEMM / block-sparse merge requirements, named for the same
+# reason: the property suite pins the packed microkernel and the
+# block-CSR kernel bitwise to the naive reference (edge tiles, zero
+# skipping, masked-weight equivalence, refresh-after-update); the
+# equivalence suite pins the block-sparse forward/backward/serving
+# paths through the full network; the perf smoke gate (release build —
+# debug timings would measure the optimiser, not the kernel) asserts
+# the packed microkernel is at least 1.5x the seeded naive kernel on a
+# fixed single-threaded shape; the sim-batching gate asserts the
+# batched sim backend never regresses below its own sequential loop.
+echo "==> packed GEMM + block-sparse property suite"
+cargo test -q -p p3d-tensor --test gemm_properties
+
+echo "==> block-sparse network equivalence"
+cargo test -q -p p3d-core --test block_sparse_equivalence
+
+echo "==> pruned-model serving equivalence"
+cargo test -q -p p3d-infer --test pruned_serving
+
+echo "==> inference speedup gates (f32 batched 2x, sim never below 1x)"
+cargo test -q -p p3d-bench --test inference_speedup
+
+echo "==> packed microkernel perf smoke gate (release)"
+cargo test -q --release -p p3d-tensor --test gemm_perf
+
 echo "All checks passed."
