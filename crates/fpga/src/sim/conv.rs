@@ -25,6 +25,25 @@ pub struct ConvStats {
     pub input_words: u64,
     /// Words stored from the output buffer.
     pub output_words: u64,
+    /// Output words whose wide accumulator clipped at a Q7.8 rail
+    /// (`Fixed16::MAX`/`MIN`) when quantised back — the accelerator's
+    /// saturation-anomaly signal. A healthy clip rails (almost) nowhere;
+    /// a rate above a few percent means the fixed-point datapath is
+    /// destroying information and the serving layer should degrade to
+    /// the f32 backend for that clip.
+    pub saturated_words: u64,
+}
+
+impl ConvStats {
+    /// Fraction of stored output words that saturated (`0.0` when no
+    /// words were stored).
+    pub fn saturation_rate(&self) -> f64 {
+        if self.output_words == 0 {
+            0.0
+        } else {
+            self.saturated_words as f64 / self.output_words as f64
+        }
+    }
 }
 
 /// Runs one convolution layer through the tiled engine.
@@ -216,7 +235,11 @@ pub fn run_conv_with_scratch(
                         for d in d0..d1 {
                             for r in r0..r1 {
                                 for c in c0..c1 {
-                                    out.set(&[m, d, r, c], acc[ai].finish());
+                                    let a = acc[ai];
+                                    if a.saturates() {
+                                        stats.saturated_words += 1;
+                                    }
+                                    out.set(&[m, d, r, c], a.finish());
                                     ai += 1;
                                 }
                             }
@@ -416,6 +439,43 @@ mod tests {
         let model = conv_latency(&inst, &cfg, Some(&mask), DoubleBuffering::On);
         assert_eq!(stats.cycles, model.cycles);
         assert_eq!(stats.blocks_skipped, model.blocks_skipped);
+    }
+
+    #[test]
+    fn saturation_counter_flags_railed_outputs_only() {
+        let inst = small_inst();
+        let mut rng = TensorRng::seed(6);
+        // Healthy magnitudes: nothing rails, the counter stays at zero.
+        let w = rng.uniform_tensor([4, 6, 1, 3, 3], -0.3, 0.3);
+        let x = rng.uniform_tensor([6, 2, 8, 8], 0.0, 1.0);
+        let (_, calm) = run_conv(
+            &inst,
+            &FixedTensor::quantize(&w),
+            &FixedTensor::quantize(&x),
+            None,
+            &small_cfg(),
+        );
+        assert_eq!(calm.saturated_words, 0);
+        assert_eq!(calm.saturation_rate(), 0.0);
+
+        // Storm magnitudes: every interior output accumulates tens of
+        // products near 127*127 — far outside Q7.8 — and must be
+        // counted at the rail.
+        let w_big = Tensor::full([4, 6, 1, 3, 3], 100.0);
+        let x_big = Tensor::full([6, 2, 8, 8], 100.0);
+        let (out, storm) = run_conv(
+            &inst,
+            &FixedTensor::quantize(&w_big),
+            &FixedTensor::quantize(&x_big),
+            None,
+            &small_cfg(),
+        );
+        assert_eq!(
+            storm.saturated_words, storm.output_words,
+            "every output word should rail under the storm"
+        );
+        assert!((storm.saturation_rate() - 1.0).abs() < 1e-12);
+        assert!(out.data().iter().all(|&v| v == Fixed16::MAX || v == Fixed16::MIN));
     }
 
     #[test]

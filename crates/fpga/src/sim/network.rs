@@ -52,6 +52,13 @@ impl SimOutput {
     pub fn total_cycles(&self) -> u64 {
         self.stats.cycles + self.fc_cycles
     }
+
+    /// Fraction of conv-output words that clipped at a Q7.8 rail over
+    /// the whole forward — the clip-level saturation-anomaly signal the
+    /// serving layer's degradation ladder keys on.
+    pub fn saturation_rate(&self) -> f64 {
+        self.stats.saturation_rate()
+    }
 }
 
 /// A network quantised for the simulated accelerator.
@@ -340,6 +347,7 @@ impl WalkCtx<'_> {
         self.stats.weight_words += s.weight_words;
         self.stats.input_words += s.input_words;
         self.stats.output_words += s.output_words;
+        self.stats.saturated_words += s.saturated_words;
     }
 }
 

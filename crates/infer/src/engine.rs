@@ -4,12 +4,26 @@
 //! caller-provided `&mut [ClipResult]` slice indexed by submission order,
 //! so result collection is fixed-order by construction: the output for
 //! clip `i` always lands in slot `i` no matter which worker computed it.
+//!
+//! # Supervision
+//!
+//! The fast path ([`InferenceEngine::infer_batch_into`]) assumes every
+//! clip computes cleanly. The *supervised* path
+//! ([`InferenceEngine::infer_batch_supervised`]) runs each clip under
+//! [`std::panic::catch_unwind`], so a worker panic (a numeric sentinel
+//! trip, an injected chaos fault, a genuine bug) marks **one slot** as
+//! faulted instead of tearing down the batch, and crashed workers are
+//! restarted (fresh arena / scratch) before the call returns. This is
+//! the substrate [`crate::ResilientServer`] builds retry, quarantine and
+//! degradation on.
 
+use crate::chaos::{FaultPlan, CHAOS_PANIC_MESSAGE};
 use p3d_core::PrunedModel;
 use p3d_fpga::sim::{QuantizedNetwork, SimScratch};
 use p3d_nn::{EvalArena, Layer, Sequential};
 use p3d_tensor::parallel::{max_threads, parallel_worker_chunks};
 use p3d_tensor::{Shape, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The classifier output for one clip.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -29,6 +43,83 @@ pub fn argmax(logits: &[f32]) -> usize {
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0)
+}
+
+/// Per-slot serving context for a supervised batch: which *request*
+/// (not batch position) the slot carries, and which delivery attempt
+/// this is. Chaos plans key off both.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotCtx {
+    /// Request index in submission order (stable across retries).
+    pub index: usize,
+    /// Zero-based delivery attempt for this request.
+    pub attempt: u32,
+}
+
+/// A caught worker failure for one slot of a supervised batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// The panic message (payload downcast to a string when possible).
+    pub message: String,
+}
+
+impl WorkerFault {
+    /// `true` when this fault came from a numeric activation sentinel
+    /// (NaN/Inf mid-network) rather than a crash — such requests are
+    /// candidates for degradation, not retry.
+    pub fn is_sentinel(&self) -> bool {
+        p3d_nn::sentinel::is_sentinel_message(&self.message)
+    }
+
+    /// `true` when this fault was injected by a chaos plan.
+    pub fn is_injected(&self) -> bool {
+        self.message.starts_with("chaos:")
+    }
+}
+
+/// Renders a caught panic payload as a message string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "worker panicked (non-string payload)".to_string())
+}
+
+/// One slot of a supervised batch: either the clip's result plus its
+/// observed Q7.8 saturation rate (always `0.0` on f32 backends), or the
+/// fault that killed the worker serving it.
+pub type SupervisedSlot = Result<(ClipResult, f64), WorkerFault>;
+
+/// What the supervisor observed while running one batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisionReport {
+    /// Workers that crashed during the batch and were replaced (fresh
+    /// arena / scratch) before this call returned.
+    pub worker_restarts: usize,
+}
+
+/// Runs one slot's chaos injections (delay, then panic) and the compute
+/// closure under `catch_unwind`, translating a panic into a fault.
+fn supervise_slot(
+    ctx: SlotCtx,
+    chaos: Option<&FaultPlan>,
+    compute: impl FnOnce() -> (ClipResult, f64),
+) -> SupervisedSlot {
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Some(plan) = chaos {
+            if let Some(stall) = plan.delay_for(ctx.index) {
+                std::thread::sleep(stall);
+            }
+            if plan.should_panic(ctx.index, ctx.attempt) {
+                panic!("{CHAOS_PANIC_MESSAGE}");
+            }
+        }
+        compute()
+    }))
+    .map_err(|payload| WorkerFault {
+        message: panic_message(payload.as_ref()),
+    })
 }
 
 /// A batched inference backend.
@@ -51,6 +142,35 @@ pub trait InferenceEngine {
         self.infer_batch_into(clips, &mut out);
         out
     }
+
+    /// Supervised batch: every clip runs under `catch_unwind`, chaos
+    /// faults from `plan` fire inside the worker, and a panic marks its
+    /// own slot faulted instead of poisoning the batch. `ctx[i]` names
+    /// the request and attempt carried by slot `i`.
+    ///
+    /// The default implementation serves clips one at a time through
+    /// [`InferenceEngine::infer_batch_into`] — correct for any engine,
+    /// but single-worker and without restart accounting. [`F32Engine`]
+    /// and [`SimEngine`] override it with clip-parallel supervision and
+    /// crashed-worker replacement.
+    fn infer_batch_supervised(
+        &mut self,
+        clips: &[Tensor],
+        ctx: &[SlotCtx],
+        chaos: Option<&FaultPlan>,
+        out: &mut [SupervisedSlot],
+    ) -> SupervisionReport {
+        assert_eq!(clips.len(), out.len(), "clips/results length mismatch");
+        assert_eq!(clips.len(), ctx.len(), "clips/ctx length mismatch");
+        for i in 0..clips.len() {
+            let mut tmp = [ClipResult::default()];
+            out[i] = supervise_slot(ctx[i], chaos, || {
+                self.infer_batch_into(&clips[i..i + 1], &mut tmp);
+                (std::mem::take(&mut tmp[0]), 0.0)
+            });
+        }
+        SupervisionReport::default()
+    }
 }
 
 /// One f32 worker: a network replica plus its private activation arena.
@@ -60,6 +180,9 @@ pub trait InferenceEngine {
 struct Replica {
     net: Sequential,
     arena: EvalArena,
+    /// Panics caught on this worker during the current supervised batch;
+    /// non-zero marks the replica for restart (fresh arena) afterwards.
+    crashes: usize,
 }
 
 impl Replica {
@@ -104,6 +227,7 @@ impl F32Engine {
                 .map(|_| Replica {
                     net: build(),
                     arena: EvalArena::new(),
+                    crashes: 0,
                 })
                 .collect(),
         }
@@ -142,6 +266,23 @@ impl F32Engine {
             .map(|r| r.arena.stats().grow_events + r.arena.stats().fallback_events)
             .sum()
     }
+
+    /// Replaces the arena of every replica that caught a panic this
+    /// batch. Network parameters are immutable under eval and the arena
+    /// path's results are independent of buffer identity, so a fresh
+    /// arena fully restores the worker — including its zero-allocation
+    /// steady state once the new buffers warm up.
+    fn restart_crashed(&mut self) -> usize {
+        let mut restarts = 0;
+        for rep in &mut self.replicas {
+            if rep.crashes > 0 {
+                rep.arena = EvalArena::new();
+                rep.crashes = 0;
+                restarts += 1;
+            }
+        }
+        restarts
+    }
 }
 
 impl InferenceEngine for F32Engine {
@@ -156,6 +297,35 @@ impl InferenceEngine for F32Engine {
         parallel_worker_chunks(out, 1, &mut self.replicas, |rep, idx, slot| {
             rep.run(&clips[idx], &mut slot[0]);
         });
+    }
+
+    fn infer_batch_supervised(
+        &mut self,
+        clips: &[Tensor],
+        ctx: &[SlotCtx],
+        chaos: Option<&FaultPlan>,
+        out: &mut [SupervisedSlot],
+    ) -> SupervisionReport {
+        assert_eq!(clips.len(), out.len(), "clips/results length mismatch");
+        assert_eq!(clips.len(), ctx.len(), "clips/ctx length mismatch");
+        parallel_worker_chunks(out, 1, &mut self.replicas, |rep, idx, slot| {
+            slot[0] = supervise_slot(ctx[idx], chaos, || {
+                // A panic mid-eval cannot corrupt later clips: `run`
+                // starts with `arena.reset()` and every acquire re-sets
+                // shape and length, so the same worker keeps producing
+                // bitwise-correct results until the post-batch restart
+                // swaps its arena anyway.
+                let mut res = ClipResult::default();
+                rep.run(&clips[idx], &mut res);
+                (res, 0.0)
+            });
+            if slot[0].is_err() {
+                rep.crashes += 1;
+            }
+        });
+        SupervisionReport {
+            worker_restarts: self.restart_crashed(),
+        }
     }
 }
 
@@ -175,7 +345,13 @@ impl InferenceEngine for F32Engine {
 pub struct SimEngine {
     net: QuantizedNetwork,
     pruned: PrunedModel,
-    scratches: Vec<SimScratch>,
+    workers: Vec<SimWorker>,
+}
+
+/// One simulator worker: a scratch plus its crash count for supervision.
+struct SimWorker {
+    scratch: SimScratch,
+    crashes: usize,
 }
 
 impl SimEngine {
@@ -185,7 +361,7 @@ impl SimEngine {
         SimEngine {
             net,
             pruned,
-            scratches: Vec::new(),
+            workers: Vec::new(),
         }
     }
 
@@ -202,6 +378,31 @@ impl SimEngine {
             .unwrap_or(1);
         max_threads().min(host).max(1)
     }
+
+    /// Keeps existing scratches warm; only grows when the cap does.
+    fn ensure_workers(&mut self, cap: usize) {
+        if self.workers.len() < cap {
+            self.workers.resize_with(cap, || SimWorker {
+                scratch: SimScratch::new(),
+                crashes: 0,
+            });
+        }
+    }
+
+    /// Replaces the scratch of every worker that caught a panic this
+    /// batch; the simulator rebuilds all per-tile state from scratch
+    /// buffers each forward, so a fresh scratch is a full restart.
+    fn restart_crashed(&mut self) -> usize {
+        let mut restarts = 0;
+        for w in &mut self.workers {
+            if w.crashes > 0 {
+                w.scratch = SimScratch::new();
+                w.crashes = 0;
+                restarts += 1;
+            }
+        }
+        restarts
+    }
 }
 
 impl InferenceEngine for SimEngine {
@@ -212,24 +413,58 @@ impl InferenceEngine for SimEngine {
     fn infer_batch_into(&mut self, clips: &[Tensor], out: &mut [ClipResult]) {
         assert_eq!(clips.len(), out.len(), "clips/results length mismatch");
         let cap = Self::worker_cap();
-        // Keep existing scratches warm; only grow when the cap does.
-        if self.scratches.len() < cap {
-            self.scratches.resize_with(cap, SimScratch::new);
-        }
+        self.ensure_workers(cap);
         let net = &self.net;
         let pruned = &self.pruned;
-        parallel_worker_chunks(out, 1, &mut self.scratches[..cap], |scratch, idx, slot| {
-            let r = net.forward_with_scratch(&clips[idx], pruned, scratch);
+        parallel_worker_chunks(out, 1, &mut self.workers[..cap], |w, idx, slot| {
+            let r = net.forward_with_scratch(&clips[idx], pruned, &mut w.scratch);
             slot[0].logits.clear();
             slot[0].logits.extend_from_slice(&r.logits);
             slot[0].prediction = r.prediction;
         });
+    }
+
+    fn infer_batch_supervised(
+        &mut self,
+        clips: &[Tensor],
+        ctx: &[SlotCtx],
+        chaos: Option<&FaultPlan>,
+        out: &mut [SupervisedSlot],
+    ) -> SupervisionReport {
+        assert_eq!(clips.len(), out.len(), "clips/results length mismatch");
+        assert_eq!(clips.len(), ctx.len(), "clips/ctx length mismatch");
+        let cap = Self::worker_cap();
+        self.ensure_workers(cap);
+        let net = &self.net;
+        let pruned = &self.pruned;
+        parallel_worker_chunks(out, 1, &mut self.workers[..cap], |w, idx, slot| {
+            slot[0] = supervise_slot(ctx[idx], chaos, || {
+                let r = net.forward_with_scratch(&clips[idx], pruned, &mut w.scratch);
+                let saturation = r.saturation_rate();
+                (
+                    ClipResult {
+                        prediction: r.prediction,
+                        logits: r.logits,
+                    },
+                    saturation,
+                )
+            });
+            if slot[0].is_err() {
+                w.crashes += 1;
+            }
+        });
+        SupervisionReport {
+            worker_restarts: self.restart_crashed(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::Fault;
+    use p3d_nn::{Conv3d, GlobalAvgPool, Linear, Relu};
+    use p3d_tensor::TensorRng;
 
     #[test]
     fn argmax_matches_tensor_convention() {
@@ -239,5 +474,108 @@ mod tests {
         assert_eq!(argmax(&[]), 0);
         let t = Tensor::from_vec([4], vec![1.0, 3.0, 3.0, 0.0]);
         assert_eq!(argmax(&[1.0, 3.0, 3.0, 0.0]), t.argmax());
+    }
+
+    fn tiny_net() -> Sequential {
+        let mut rng = TensorRng::seed(7);
+        Sequential::new()
+            .push(Conv3d::new("c", 4, 1, (1, 3, 3), (1, 1, 1), (0, 1, 1), true, &mut rng))
+            .push(Relu::new())
+            .push(GlobalAvgPool::new())
+            .push(Linear::new("fc", 3, 4, true, &mut rng))
+    }
+
+    fn tiny_clips(n: usize) -> Vec<Tensor> {
+        let mut rng = TensorRng::seed(11);
+        (0..n)
+            .map(|_| rng.uniform_tensor([1, 4, 8, 8], -1.0, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn supervised_matches_fast_path_without_chaos() {
+        let clips = tiny_clips(6);
+        let mut engine = F32Engine::new(2, tiny_net);
+        let baseline = engine.infer_batch(&clips);
+        let ctx: Vec<SlotCtx> = (0..clips.len())
+            .map(|i| SlotCtx { index: i, attempt: 0 })
+            .collect();
+        let mut out: Vec<SupervisedSlot> = vec![Ok((ClipResult::default(), 0.0)); clips.len()];
+        let report = engine.infer_batch_supervised(&clips, &ctx, None, &mut out);
+        assert_eq!(report.worker_restarts, 0);
+        for (slot, base) in out.iter().zip(&baseline) {
+            let (res, sat) = slot.as_ref().expect("no faults injected");
+            assert_eq!(*sat, 0.0);
+            assert_eq!(res.prediction, base.prediction);
+            let a: Vec<u32> = res.logits.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = base.logits.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "supervised path must be bitwise identical");
+        }
+    }
+
+    #[test]
+    fn injected_panic_faults_one_slot_and_restarts_worker() {
+        crate::chaos::install_quiet_panic_hook();
+        let clips = tiny_clips(5);
+        let mut engine = F32Engine::new(2, tiny_net);
+        let baseline = engine.infer_batch(&clips);
+        let plan = FaultPlan::new().inject(2, Fault::Panic { times: u32::MAX });
+        let ctx: Vec<SlotCtx> = (0..clips.len())
+            .map(|i| SlotCtx { index: i, attempt: 0 })
+            .collect();
+        let mut out: Vec<SupervisedSlot> = vec![Ok((ClipResult::default(), 0.0)); clips.len()];
+        let report = engine.infer_batch_supervised(&clips, &ctx, Some(&plan), &mut out);
+        assert_eq!(report.worker_restarts, 1, "the killed worker must restart");
+        for (i, slot) in out.iter().enumerate() {
+            if i == 2 {
+                let fault = slot.as_ref().expect_err("slot 2 must be faulted");
+                assert!(fault.is_injected(), "unexpected fault: {}", fault.message);
+                assert!(!fault.is_sentinel());
+            } else {
+                let (res, _) = slot.as_ref().expect("other slots must survive");
+                let a: Vec<u32> = res.logits.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = baseline[i].logits.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "clip {i} changed after a neighbour's crash");
+            }
+        }
+        // The restarted worker keeps serving correctly.
+        let again = engine.infer_batch(&clips);
+        for (x, y) in again.iter().zip(&baseline) {
+            assert_eq!(x.prediction, y.prediction);
+        }
+    }
+
+    #[test]
+    fn default_supervised_impl_catches_panics() {
+        // A minimal engine that panics on demand, relying on the
+        // trait's default one-clip-at-a-time supervision.
+        struct Flaky;
+        impl InferenceEngine for Flaky {
+            fn name(&self) -> &str {
+                "flaky"
+            }
+            fn infer_batch_into(&mut self, clips: &[Tensor], out: &mut [ClipResult]) {
+                for (clip, slot) in clips.iter().zip(out.iter_mut()) {
+                    assert!(
+                        clip.data()[0] >= 0.0,
+                        "chaos: negative lead element"
+                    );
+                    slot.prediction = 1;
+                    slot.logits = vec![0.0, 1.0];
+                }
+            }
+        }
+        crate::chaos::install_quiet_panic_hook();
+        let good = Tensor::from_vec([1, 1, 1, 2], vec![0.5, 0.5]);
+        let bad = Tensor::from_vec([1, 1, 1, 2], vec![-1.0, 0.5]);
+        let clips = vec![good.clone(), bad, good];
+        let ctx: Vec<SlotCtx> = (0..3)
+            .map(|i| SlotCtx { index: i, attempt: 0 })
+            .collect();
+        let mut out: Vec<SupervisedSlot> = vec![Ok((ClipResult::default(), 0.0)); 3];
+        Flaky.infer_batch_supervised(&clips, &ctx, None, &mut out);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok(), "a fault must not poison later slots");
     }
 }

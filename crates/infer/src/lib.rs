@@ -20,6 +20,14 @@
 //! forward, because each clip is computed in full by exactly one worker
 //! with a fixed expression order and results are collected by index.
 //!
+//! On top of the plain [`BatchScheduler`] fast path sits a hardened
+//! serving layer: [`ResilientServer`] adds input validation, bounded
+//! admission with load shedding, per-request deadlines, supervised
+//! workers (`catch_unwind` + restart), retry with seeded backoff,
+//! poison-request quarantine, and automatic Q7.8→f32 degradation on
+//! saturation anomalies — all exercised by the deterministic
+//! fault-injection harness in [`chaos`].
+//!
 //! # Example
 //!
 //! ```
@@ -46,10 +54,19 @@
 //! assert!(run.results.iter().all(|r| r.logits.len() == 3));
 //! ```
 
+pub mod chaos;
 pub mod engine;
+pub mod resilience;
 pub mod scheduler;
 pub mod stats;
 
-pub use engine::{argmax, ClipResult, F32Engine, InferenceEngine, SimEngine};
+pub use chaos::{install_quiet_panic_hook, Fault, FaultMix, FaultPlan};
+pub use engine::{
+    argmax, ClipResult, F32Engine, InferenceEngine, SimEngine, SlotCtx, SupervisedSlot,
+    SupervisionReport, WorkerFault,
+};
+pub use resilience::{
+    validate_clip, InferError, Request, ResilientRun, ResilientServer, Response, ServerConfig,
+};
 pub use scheduler::{BatchScheduler, StreamRun};
-pub use stats::{percentile, LatencyStats};
+pub use stats::{percentile, ErrorBudget, LatencyStats};

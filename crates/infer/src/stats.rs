@@ -1,5 +1,55 @@
 //! Latency/throughput accounting for batched inference runs.
 
+/// Error accounting for one resilient serving run: every request is
+/// admitted or rejected, and every admitted request resolves exactly
+/// once — these counters partition that lifecycle so the identity
+/// `submitted = admitted + shed_overload + rejected_invalid` and
+/// `admitted = completed + deadline_expired + quarantined` always hold
+/// (asserted by the chaos suite).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ErrorBudget {
+    /// Requests offered to the server (admitted or not).
+    pub submitted: u64,
+    /// Requests that passed validation and fit in the queue.
+    pub admitted: u64,
+    /// Requests rejected at submission because the queue was full
+    /// (reject-newest load shedding).
+    pub shed_overload: u64,
+    /// Requests rejected at submission by input validation.
+    pub rejected_invalid: u64,
+    /// Admitted requests whose deadline expired before they ran; shed
+    /// without computing.
+    pub deadline_expired: u64,
+    /// Requests that *completed* but after their deadline (served; the
+    /// response is flagged).
+    pub deadline_missed: u64,
+    /// Re-deliveries after a transient worker failure.
+    pub retries: u64,
+    /// Worker faults caught by supervision (panics of any origin).
+    pub worker_failures: u64,
+    /// Workers restarted (fresh arena/scratch) after a caught panic.
+    pub worker_restarts: u64,
+    /// Requests abandoned as poison after killing too many workers or
+    /// exhausting retries.
+    pub quarantined: u64,
+    /// Requests re-served on the fallback backend after a Q7.8
+    /// saturation anomaly or a numeric sentinel trip.
+    pub fallbacks: u64,
+    /// Activation-sentinel trips (NaN/Inf caught mid-network).
+    pub sentinel_trips: u64,
+    /// Requests resolved with a successful result.
+    pub completed: u64,
+}
+
+impl ErrorBudget {
+    /// `true` when every submitted request is accounted for exactly
+    /// once by the admission and resolution partitions.
+    pub fn balanced(&self) -> bool {
+        self.submitted == self.admitted + self.shed_overload + self.rejected_invalid
+            && self.admitted == self.completed + self.deadline_expired + self.quarantined
+    }
+}
+
 /// Latency percentiles over one stream run, in milliseconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencyStats {

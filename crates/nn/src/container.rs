@@ -82,6 +82,11 @@ impl Layer for Sequential {
         let mut cur = input;
         for layer in &mut self.layers {
             cur = layer.eval_into(arena, cur);
+            // Numeric guardrail: catch NaN/Inf the layer that produced
+            // it, not three layers later in the logits. Free when
+            // sentinels are disabled (release default); the panic is
+            // caught and classified by the serving supervisor.
+            crate::sentinel::check_finite(arena.buf(cur), || layer.describe());
         }
         cur
     }

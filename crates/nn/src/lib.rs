@@ -53,6 +53,7 @@ pub mod metrics;
 pub mod optim;
 pub mod pool;
 pub mod schedule;
+pub mod sentinel;
 pub mod train_state;
 pub mod trainer;
 
@@ -68,5 +69,6 @@ pub use loss::CrossEntropyLoss;
 pub use optim::Sgd;
 pub use pool::{GlobalAvgPool, MaxPool3d};
 pub use schedule::LrSchedule;
+pub use sentinel::{activation_sentinels_enabled, set_activation_sentinels};
 pub use train_state::{pack_u64s, unpack_u64s, TrainState};
 pub use trainer::{evaluate, stack_clips, Dataset, EpochStats, ToyDataset, Trainer};

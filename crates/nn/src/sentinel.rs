@@ -1,0 +1,145 @@
+//! Numeric guardrails for the arena evaluation path.
+//!
+//! A NaN or Inf produced mid-network (overflowing weights, corrupted
+//! input that slipped past admission validation, a future kernel bug)
+//! silently propagates to the logits and corrupts the response. The
+//! sentinel scans each layer's output buffer for non-finite values
+//! during [`crate::Layer::eval_into`] and **panics with a recognisable
+//! `"activation sentinel:"` message** the moment one appears — which the
+//! serving layer's worker supervision converts into a typed fault (and,
+//! after repeated trips, a quarantine) instead of a corrupt result.
+//!
+//! Cost model: one linear scan per layer per clip. That is cheap
+//! relative to a debug-build forward, so the sentinel defaults **on
+//! under `debug_assertions`** (every `cargo test` exercises it) and
+//! **off in release**, where it is opt-in via
+//! [`set_activation_sentinels`] or `P3D_SENTINELS=1` — the serving
+//! operator's choice of safety margin, exactly like the accelerator-side
+//! saturation guardbands.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Tri-state runtime override: 0 = unset (use default), 1 = off, 2 = on.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// The prefix every sentinel panic message starts with; supervisors
+/// match on it to classify a worker fault as numeric poison.
+pub const SENTINEL_PREFIX: &str = "activation sentinel:";
+
+/// Default when no programmatic override is set: `debug_assertions`,
+/// or the `P3D_SENTINELS` environment variable (`1`/`true` forces on,
+/// `0`/`false` forces off), read once per process.
+fn default_enabled() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("P3D_SENTINELS") {
+        Ok(v) => matches!(v.trim(), "1" | "true" | "on"),
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
+/// Forces activation sentinels on or off process-wide (`None` restores
+/// the default: on under `debug_assertions` or `P3D_SENTINELS=1`).
+pub fn set_activation_sentinels(enabled: Option<bool>) {
+    OVERRIDE.store(
+        match enabled {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        },
+        Ordering::SeqCst,
+    );
+}
+
+/// Whether the sentinel scan runs right now.
+pub fn activation_sentinels_enabled() -> bool {
+    match OVERRIDE.load(Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => default_enabled(),
+    }
+}
+
+/// Scans `buf` for non-finite values when sentinels are enabled.
+///
+/// # Panics
+///
+/// Panics with a [`SENTINEL_PREFIX`]-tagged message naming the offending
+/// layer (via `describe`, only invoked on failure) and the first bad
+/// index. The scan itself allocates nothing.
+#[inline]
+pub fn check_finite(buf: &[f32], describe: impl FnOnce() -> String) {
+    if !activation_sentinels_enabled() {
+        return;
+    }
+    // Positional scan so the panic can name the first offending element.
+    if let Some(pos) = buf.iter().position(|v| !v.is_finite()) {
+        panic!(
+            "{SENTINEL_PREFIX} non-finite activation {} at element {pos} after {}",
+            buf[pos],
+            describe()
+        );
+    }
+}
+
+/// `true` when a panic payload came from [`check_finite`] — lets a
+/// supervisor distinguish numeric poison from other worker crashes.
+pub fn is_sentinel_message(msg: &str) -> bool {
+    msg.starts_with(SENTINEL_PREFIX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that flip the process-wide override.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn override_controls_enablement() {
+        let _guard = LOCK.lock().unwrap();
+        set_activation_sentinels(Some(true));
+        assert!(activation_sentinels_enabled());
+        set_activation_sentinels(Some(false));
+        assert!(!activation_sentinels_enabled());
+        set_activation_sentinels(None);
+        // Default: on in debug builds unless the env says otherwise.
+        let _ = activation_sentinels_enabled();
+    }
+
+    #[test]
+    fn finite_buffers_pass() {
+        let _guard = LOCK.lock().unwrap();
+        set_activation_sentinels(Some(true));
+        check_finite(&[0.0, -1.5, f32::MAX], || unreachable!());
+        set_activation_sentinels(None);
+    }
+
+    #[test]
+    fn nan_trips_with_tagged_message() {
+        let _guard = LOCK.lock().unwrap();
+        set_activation_sentinels(Some(true));
+        let r = std::panic::catch_unwind(|| {
+            check_finite(&[1.0, f32::NAN], || "conv_x".into());
+        });
+        set_activation_sentinels(None);
+        let payload = r.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(is_sentinel_message(msg), "{msg}");
+        assert!(msg.contains("conv_x"), "{msg}");
+        assert!(msg.contains("element 1"), "{msg}");
+    }
+
+    #[test]
+    fn inf_trips_and_disabled_does_not() {
+        let _guard = LOCK.lock().unwrap();
+        set_activation_sentinels(Some(true));
+        assert!(std::panic::catch_unwind(|| {
+            check_finite(&[f32::INFINITY], || "relu".into());
+        })
+        .is_err());
+        set_activation_sentinels(Some(false));
+        check_finite(&[f32::NAN, f32::INFINITY], || unreachable!());
+        set_activation_sentinels(None);
+    }
+}

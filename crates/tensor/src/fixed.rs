@@ -226,6 +226,15 @@ impl MacAccumulator {
     pub fn raw(self) -> i64 {
         self.acc
     }
+
+    /// `true` when [`MacAccumulator::finish`] will clip at a Q7.8 rail —
+    /// i.e. the exact wide sum is outside the representable range and
+    /// the quantised output loses information. This is the per-word
+    /// saturation-anomaly signal the simulator's `ConvStats` aggregates.
+    pub fn saturates(self) -> bool {
+        let rounded = (self.acc + (1 << (FRAC_BITS - 1))) >> FRAC_BITS;
+        rounded > i16::MAX as i64 || rounded < i16::MIN as i64
+    }
 }
 
 /// A dense tensor of [`Fixed16`] values: the on-chip representation used

@@ -15,7 +15,9 @@
 //!
 //! 1. a process-wide programmatic override ([`set_thread_override`]),
 //!    used by benches and determinism tests,
-//! 2. the `P3D_THREADS` environment variable,
+//! 2. the `P3D_THREADS` environment variable — parsed **once** per
+//!    process and clamped to `[1, host cores]`; invalid or zero values
+//!    log one warning line and fall back to the host default,
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! With one worker (or one chunk) everything runs inline on the caller's
@@ -32,6 +34,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// `0` means "no override"; any other value is the forced worker count.
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -49,6 +52,88 @@ pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
 }
 
+/// The host's physical parallelism (`1` when it cannot be queried).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Interprets one `P3D_THREADS` value against the host's core count.
+///
+/// * `Ok(n)` — a usable worker count, already clamped to `[1, host]`.
+///   `None` of the outer `Option` never occurs here; clamped values are
+///   reported through the warning string of [`resolve_env_threads`].
+/// * `Err(reason)` — unusable (empty, non-numeric, or zero); callers
+///   must fall back to the host default.
+///
+/// Pure so the policy is unit-testable without touching the real
+/// environment (the real lookup is parsed once per process).
+pub fn parse_thread_setting(raw: &str, host: usize) -> Result<usize, String> {
+    let host = host.max(1);
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "invalid P3D_THREADS='{}' (zero workers cannot run anything)",
+            raw.trim()
+        )),
+        Ok(n) => Ok(n.min(host)),
+        Err(_) => Err(format!(
+            "invalid P3D_THREADS='{}' (expected an integer in 1..={host})",
+            raw.trim()
+        )),
+    }
+}
+
+/// Resolves `P3D_THREADS` once: `(effective_count, optional_warning)`.
+/// `None` means the variable is unset — use the host default.
+fn resolve_env_threads() -> (Option<usize>, Option<String>) {
+    match std::env::var("P3D_THREADS") {
+        Err(_) => (None, None),
+        Ok(raw) => {
+            let host = host_parallelism();
+            match parse_thread_setting(&raw, host) {
+                Ok(n) => {
+                    let warn = raw
+                        .trim()
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&asked| asked > n)
+                        .map(|asked| {
+                            format!(
+                                "warning: P3D_THREADS={asked} exceeds host parallelism; \
+                                 clamped to {n}"
+                            )
+                        });
+                    (Some(n), warn)
+                }
+                Err(reason) => (
+                    None,
+                    Some(format!(
+                        "warning: {reason}; using host parallelism ({host})"
+                    )),
+                ),
+            }
+        }
+    }
+}
+
+/// The cached `P3D_THREADS` setting. Parsed exactly once per process
+/// (changing the variable after the first parallel call has no effect —
+/// use [`set_thread_override`] for runtime control); an invalid or zero
+/// value logs one warning line and falls back to the host default
+/// instead of silently misbehaving, and oversubscribed values clamp to
+/// `[1, host cores]`.
+fn env_threads() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        let (n, warning) = resolve_env_threads();
+        if let Some(w) = warning {
+            eprintln!("{w}");
+        }
+        n
+    })
+}
+
 /// The number of workers parallel helpers may use right now.
 ///
 /// Returns `1` (serial) when called from inside a parallel worker — see
@@ -61,16 +146,10 @@ pub fn max_threads() -> usize {
     if forced > 0 {
         return forced;
     }
-    if let Ok(v) = std::env::var("P3D_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    if let Some(n) = env_threads() {
+        return n;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    host_parallelism()
 }
 
 /// Splits `0..n_items` into at most `max_threads()` contiguous ranges of
@@ -517,6 +596,25 @@ mod tests {
         // With >1 outer chunks every worker saw the nesting guard.
         assert_eq!(outer, vec![3, 3, 3, 3]);
         set_thread_override(None);
+    }
+
+    #[test]
+    fn thread_setting_parses_clamps_and_rejects() {
+        // Valid values pass through, clamped to the host core count.
+        assert_eq!(parse_thread_setting("4", 8), Ok(4));
+        assert_eq!(parse_thread_setting(" 4 ", 8), Ok(4)); // whitespace ok
+        assert_eq!(parse_thread_setting("16", 8), Ok(8)); // clamp high
+        assert_eq!(parse_thread_setting("1", 1), Ok(1));
+        assert_eq!(parse_thread_setting("3", 0), Ok(1)); // host floor is 1
+        // Zero and garbage are defined failures, never a silent fallback.
+        assert!(parse_thread_setting("0", 8).is_err());
+        assert!(parse_thread_setting("", 8).is_err());
+        assert!(parse_thread_setting("eight", 8).is_err());
+        assert!(parse_thread_setting("-2", 8).is_err());
+        assert!(parse_thread_setting("2.5", 8).is_err());
+        // The failure text names the variable for the one-line warning.
+        let msg = parse_thread_setting("0", 8).unwrap_err();
+        assert!(msg.contains("P3D_THREADS"), "{msg}");
     }
 
     #[test]

@@ -75,4 +75,18 @@ cargo test -q -p p3d-bench --test inference_speedup
 echo "==> packed microkernel perf smoke gate (release)"
 cargo test -q --release -p p3d-tensor --test gemm_perf
 
+# The resilient-serving merge requirements, named for the same reason:
+# the chaos suite (seeded fault injection — worker panics, stalls, bit
+# flips, saturation storms — with exactly-once resolution, balanced
+# error budgets, and bitwise-unchanged non-faulted outputs) and the
+# serving-boundary validation + supervision unit tests. Both run under
+# the dev profile, where debug assertions, overflow checks and the
+# NaN/Inf activation sentinels are all enabled — this is the
+# debug-assertions pass for the serving layer.
+echo "==> fault-injection chaos suite (debug assertions + sentinels on)"
+cargo test -q -p p3d-infer --test chaos
+
+echo "==> serving-boundary validation + worker supervision"
+cargo test -q -p p3d-infer --lib
+
 echo "All checks passed."

@@ -11,6 +11,8 @@
 //! p3d simulate --ckpt model.ckpt [--model ...] [--tm 8] [--tn 4]
 //! p3d infer    --ckpt model.ckpt [--model ...] [--clips N] [--batch B]
 //!              [--backend f32|sim|both] [--threads T] [--json FILE]
+//!              [--resilient] [--replicas R] [--capacity C]
+//!              [--deadline-ms D] [--retries N] [--chaos-seed S]
 //! p3d tables   (prints the paper-table summaries)
 //! ```
 //!
@@ -18,7 +20,10 @@
 //! `--seed`.
 
 use p3d::fpga::{AcceleratorConfig, Ports, QuantizedNetwork, Tiling};
-use p3d::infer::{BatchScheduler, F32Engine, SimEngine, StreamRun};
+use p3d::infer::{
+    install_quiet_panic_hook, BatchScheduler, F32Engine, FaultMix, FaultPlan, Request,
+    ResilientRun, ResilientServer, ServerConfig, SimEngine, StreamRun,
+};
 use p3d::models::{
     build_network, c3d_lite, r2plus1d_lite, r2plus1d_lite_wide, r2plus1d_micro, NetworkSpec,
 };
@@ -355,11 +360,22 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 const INFER_USAGE: &str = "usage: p3d infer --ckpt model.ckpt [--model lite|lite-wide|micro|c3d-lite]
                  [--clips N] [--batch B] [--backend f32|sim|both]
                  [--threads T] [--seed S] [--tm 8] [--tn 4] [--json FILE]
+                 [--resilient] [--replicas R] [--capacity C]
+                 [--deadline-ms D] [--retries N] [--chaos-seed S]
 
 Streams synthetic test clips through the batched inference engine and
 reports throughput (clips/s), latency percentiles (p50/p95/p99), and
 accuracy for the f32 network and/or the Q7.8 accelerator simulator.
---json additionally writes the report as a JSON document.";
+--json additionally writes the report as a JSON document.
+
+Resilient serving (--resilient, implied by the flags below): requests
+pass input validation and a bounded admission queue (--capacity),
+carry deadlines (--deadline-ms), and run on supervised workers with
+retry (--retries), poison quarantine, and automatic sim->f32
+degradation on Q7.8 saturation anomalies. --chaos-seed S injects a
+deterministic fault mix (panics, stalls, bit flips, saturation storms)
+to exercise those paths; the report gains an error budget
+(shed/retry/quarantine/fallback counters), also emitted in --json.";
 
 /// One `backend: {...}` JSON fragment for `--json`.
 fn infer_json_row(backend: &str, run: &StreamRun, accuracy: f64) -> String {
@@ -376,6 +392,49 @@ fn infer_json_row(backend: &str, run: &StreamRun, accuracy: f64) -> String {
     )
 }
 
+/// One `backend: {...}` JSON fragment for a resilient `--json` report,
+/// with the run's error budget embedded.
+fn resilient_json_row(backend: &str, run: &ResilientRun, accuracy: f64) -> String {
+    let lat = run.latency_stats();
+    let b = &run.budget;
+    let clips_per_s = b.completed as f64 / run.wall_s.max(1e-9);
+    format!(
+        "    {{\"backend\": \"{backend}\", \"mode\": \"resilient\", \"clips_per_s\": {clips_per_s:.2}, \
+\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"accuracy\": {accuracy:.4}, \
+\"batches\": {}, \"error_budget\": {{\"submitted\": {}, \"admitted\": {}, \"shed_overload\": {}, \
+\"rejected_invalid\": {}, \"deadline_expired\": {}, \"deadline_missed\": {}, \"retries\": {}, \
+\"worker_failures\": {}, \"worker_restarts\": {}, \"quarantined\": {}, \"fallbacks\": {}, \
+\"sentinel_trips\": {}, \"completed\": {}}}}}",
+        lat.p50_ms,
+        lat.p95_ms,
+        lat.p99_ms,
+        lat.mean_ms,
+        run.batches,
+        b.submitted,
+        b.admitted,
+        b.shed_overload,
+        b.rejected_invalid,
+        b.deadline_expired,
+        b.deadline_missed,
+        b.retries,
+        b.worker_failures,
+        b.worker_restarts,
+        b.quarantined,
+        b.fallbacks,
+        b.sentinel_trips,
+        b.completed,
+    )
+}
+
+/// Hard sanity limits for `p3d infer` flags: values past these are
+/// almost certainly typos, and the failure modes (hour-long runs,
+/// thousands of replicas) are unpleasant.
+const MAX_BATCH: usize = 4096;
+const MAX_REPLICAS: usize = 256;
+const MAX_THREADS_FLAG: usize = 1024;
+const MAX_DEADLINE_MS: u64 = 600_000;
+const MAX_RETRIES: u32 = 16;
+
 fn cmd_infer(args: &Args) -> Result<(), String> {
     if args.get("help", false)? {
         println!("{INFER_USAGE}");
@@ -384,8 +443,23 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     args.expect_known(
         "infer",
         &[
-            "help", "model", "ckpt", "clips", "batch", "backend", "threads", "seed", "tm", "tn",
+            "help",
+            "model",
+            "ckpt",
+            "clips",
+            "batch",
+            "backend",
+            "threads",
+            "seed",
+            "tm",
+            "tn",
             "json",
+            "resilient",
+            "replicas",
+            "capacity",
+            "deadline-ms",
+            "retries",
+            "chaos-seed",
         ],
     )?;
     let model = args.get("model", "lite".to_string())?;
@@ -406,6 +480,49 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     if batch == 0 {
         return Err("--batch must be positive".into());
     }
+    if batch > MAX_BATCH {
+        return Err(format!("--batch {batch} is not plausible (max {MAX_BATCH})"));
+    }
+    if threads > MAX_THREADS_FLAG {
+        return Err(format!(
+            "--threads {threads} is not plausible (max {MAX_THREADS_FLAG})"
+        ));
+    }
+    let replicas_flag: usize = args.get("replicas", 0)?;
+    if args.flags.contains_key("replicas") && replicas_flag == 0 {
+        return Err("--replicas must be positive".into());
+    }
+    if replicas_flag > MAX_REPLICAS {
+        return Err(format!(
+            "--replicas {replicas_flag} is not plausible (max {MAX_REPLICAS})"
+        ));
+    }
+    let capacity: usize = args.get("capacity", 1024)?;
+    if capacity == 0 {
+        return Err("--capacity must be positive".into());
+    }
+    let deadline_ms: u64 = args.get("deadline-ms", 0)?;
+    if args.flags.contains_key("deadline-ms") && deadline_ms == 0 {
+        return Err("--deadline-ms must be positive".into());
+    }
+    if deadline_ms > MAX_DEADLINE_MS {
+        return Err(format!(
+            "--deadline-ms {deadline_ms} is not plausible (max {MAX_DEADLINE_MS})"
+        ));
+    }
+    let retries: u32 = args.get("retries", 2)?;
+    if retries > MAX_RETRIES {
+        return Err(format!(
+            "--retries {retries} is not plausible (max {MAX_RETRIES})"
+        ));
+    }
+    let chaos_given = args.flags.contains_key("chaos-seed");
+    let chaos_seed: u64 = args.get("chaos-seed", 0)?;
+    let resilient = args.get("resilient", false)?
+        || chaos_given
+        || args.flags.contains_key("capacity")
+        || args.flags.contains_key("deadline-ms")
+        || args.flags.contains_key("retries");
     if threads > 0 {
         set_thread_override(Some(threads));
     }
@@ -414,6 +531,112 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     let mut net = load_into(&spec, &ckpt, seed)?;
     let (_, test) = dataset_for(&spec, clips, seed);
     let labels: Vec<usize> = (0..test.len()).map(|i| test.sample(i).1).collect();
+    let replicas = if replicas_flag > 0 {
+        replicas_flag
+    } else {
+        max_threads().min(batch).max(1)
+    };
+
+    if resilient {
+        // Resilient serving: one supervised stream. `sim` and `both`
+        // run the Q7.8 simulator as primary with the f32 network as
+        // degradation fallback; `f32` runs the float path alone.
+        let primary_is_sim = run_sim;
+        let chaos = chaos_given.then(|| {
+            // Expected injected panics should not spray backtraces.
+            install_quiet_panic_hook();
+            FaultPlan::seeded_mix(chaos_seed, test.len(), &FaultMix::default())
+        });
+        let (c, d, h, w) = spec.input;
+        let mut server = ResilientServer::new(ServerConfig {
+            capacity,
+            max_batch: batch,
+            expected_shape: Some([c, d, h, w]),
+            default_deadline: (deadline_ms > 0)
+                .then(|| std::time::Duration::from_millis(deadline_ms)),
+            max_retries: retries,
+            seed,
+            ..ServerConfig::default()
+        });
+        for i in 0..test.len() {
+            let (mut clip, _) = test.sample(i);
+            if let Some(plan) = &chaos {
+                plan.corrupt_input(i, &mut clip);
+            }
+            // Rejections (validation, overload) are recorded in the
+            // drained responses; nothing to do with the error here.
+            let _ = server.submit(Request::new(clip));
+        }
+        let name = if primary_is_sim { "sim" } else { "f32" };
+        let mut fallback;
+        let run = if primary_is_sim {
+            let accel = AcceleratorConfig {
+                tiling: Tiling::new(tm, tn, 2, 8, 8),
+                ports: Ports::new(2, 2, 2),
+                freq_mhz: 150.0,
+                data_bits: 16,
+            };
+            let q = QuantizedNetwork::from_network(&spec, &mut net, accel);
+            let mut primary = SimEngine::new(q, PrunedModel::dense());
+            fallback = F32Engine::new(replicas, || {
+                load_into(&spec, &ckpt, seed).expect("checkpoint validated above")
+            });
+            server.drain(&mut primary, Some(&mut fallback), chaos.as_ref())
+        } else {
+            let mut primary = F32Engine::new(replicas, || {
+                load_into(&spec, &ckpt, seed).expect("checkpoint validated above")
+            });
+            server.drain(&mut primary, None, chaos.as_ref())
+        };
+        let b = &run.budget;
+        let correct = run
+            .responses
+            .iter()
+            .filter(|r| {
+                r.outcome
+                    .as_ref()
+                    .is_ok_and(|res| res.prediction == labels[r.index])
+            })
+            .count();
+        let accuracy = correct as f64 / (b.completed.max(1)) as f64;
+        let lat = run.latency_stats();
+        println!(
+            "{name:>4}: {:>8.1} clips/s | p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms | accuracy {accuracy:.4} ({} completed of {} submitted, batch {batch})",
+            b.completed as f64 / run.wall_s.max(1e-9),
+            lat.p50_ms,
+            lat.p95_ms,
+            lat.p99_ms,
+            b.completed,
+            b.submitted,
+        );
+        println!(
+            "budget: shed {}, invalid {}, expired {}, late {}, retries {}, worker failures {}, restarts {}, quarantined {}, fallbacks {}, sentinel trips {}",
+            b.shed_overload,
+            b.rejected_invalid,
+            b.deadline_expired,
+            b.deadline_missed,
+            b.retries,
+            b.worker_failures,
+            b.worker_restarts,
+            b.quarantined,
+            b.fallbacks,
+            b.sentinel_trips,
+        );
+        if !json_path.is_empty() {
+            let json = format!(
+                "{{\n  \"model\": \"{model}\",\n  \"clips\": {},\n  \"batch\": {batch},\n  \"results\": [\n{}\n  ]\n}}\n",
+                labels.len(),
+                resilient_json_row(name, &run, accuracy)
+            );
+            std::fs::write(&json_path, json)
+                .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+            println!("wrote {json_path}");
+        }
+        if threads > 0 {
+            set_thread_override(None);
+        }
+        return Ok(());
+    }
 
     let mut json_rows = Vec::new();
     // Prints one backend line and returns its JSON row.
@@ -438,7 +661,6 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     };
 
     if run_f32 {
-        let replicas = max_threads().min(batch).max(1);
         let mut engine = F32Engine::new(replicas, || {
             load_into(&spec, &ckpt, seed).expect("checkpoint validated above")
         });

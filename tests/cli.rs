@@ -216,3 +216,129 @@ fn infer_rejects_bad_backend() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown backend 'tpu'"), "{err}");
 }
+
+/// Every implausible or zero flag value must fail fast with a clear
+/// message and a nonzero exit, before any model work starts.
+#[test]
+fn infer_rejects_zero_and_implausible_flag_values() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["--batch", "0"], "--batch must be positive"),
+        (&["--batch", "100000"], "--batch 100000 is not plausible"),
+        (&["--threads", "99999"], "--threads 99999 is not plausible"),
+        (&["--replicas", "0"], "--replicas must be positive"),
+        (&["--replicas", "5000"], "--replicas 5000 is not plausible"),
+        (&["--deadline-ms", "0"], "--deadline-ms must be positive"),
+        (
+            &["--deadline-ms", "86400000"],
+            "--deadline-ms 86400000 is not plausible",
+        ),
+        (&["--retries", "99"], "--retries 99 is not plausible"),
+        (&["--batch", "abc"], "invalid value 'abc' for --batch"),
+    ];
+    for (flags, want) in cases {
+        let out = p3d()
+            .args(["infer", "--ckpt", "x.ckpt"])
+            .args(*flags)
+            .output()
+            .expect("spawn");
+        assert!(
+            !out.status.success(),
+            "{flags:?} should have been rejected"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(want), "for {flags:?}: {err}");
+    }
+}
+
+/// Pulls the integer after `"key": ` out of a JSON string.
+fn json_u64(report: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let at = report.find(&pat).unwrap_or_else(|| panic!("no {key} in {report}"));
+    report[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("integer after key")
+}
+
+#[test]
+fn infer_resilient_chaos_reports_error_budget() {
+    let dir = std::env::temp_dir().join("p3d_cli_chaos");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("micro.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let json = dir.join("chaos.json");
+    let json_s = json.to_str().unwrap();
+
+    let out = p3d()
+        .args([
+            "train", "--model", "micro", "--epochs", "1", "--clips", "20", "--seed", "9",
+            "--out", ckpt_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 24 requested clips -> 12 test clips; chaos seed 7 schedules at
+    // least one transient panic and one saturation storm over them.
+    let out = p3d()
+        .args([
+            "infer", "--model", "micro", "--ckpt", ckpt_s, "--clips", "24", "--batch", "8",
+            "--backend", "sim", "--tm", "4", "--tn", "4", "--chaos-seed", "7", "--capacity",
+            "64", "--retries", "2", "--json", json_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "chaos infer failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("budget:"), "{text}");
+    assert!(text.contains("fallbacks"), "{text}");
+
+    let report = std::fs::read_to_string(&json).expect("json report written");
+    assert!(report.contains("\"mode\": \"resilient\""), "{report}");
+    assert!(report.contains("\"error_budget\""), "{report}");
+    let submitted = json_u64(&report, "submitted");
+    let completed = json_u64(&report, "completed");
+    let quarantined = json_u64(&report, "quarantined");
+    let expired = json_u64(&report, "deadline_expired");
+    let shed = json_u64(&report, "shed_overload");
+    let invalid = json_u64(&report, "rejected_invalid");
+    assert_eq!(submitted, 12);
+    // Exactly-once: admission and resolution partitions must balance.
+    assert_eq!(
+        json_u64(&report, "admitted") + shed + invalid,
+        submitted,
+        "{report}"
+    );
+    assert_eq!(
+        completed + expired + quarantined,
+        json_u64(&report, "admitted"),
+        "{report}"
+    );
+    // The seeded mix must actually exercise the machinery.
+    assert!(
+        json_u64(&report, "retries") >= 1,
+        "no retries under chaos: {report}"
+    );
+    assert!(
+        json_u64(&report, "fallbacks") >= 1,
+        "no sim->f32 fallback under chaos: {report}"
+    );
+    assert_eq!(
+        report.matches('{').count(),
+        report.matches('}').count(),
+        "unbalanced JSON: {report}"
+    );
+
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&json);
+}
