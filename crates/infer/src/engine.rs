@@ -338,7 +338,7 @@ impl InferenceEngine for F32Engine {
 /// Each worker owns a [`SimScratch`] so the conv engine's per-tile
 /// accumulator buffers are reused across clips instead of reallocated,
 /// and the worker count is capped at the host's physical parallelism:
-/// the simulator is pure compute, so spawning more workers than cores
+/// the simulator is pure compute, so running more workers than cores
 /// (e.g. a forced `P3D_THREADS` above `available_parallelism`) only adds
 /// contention without adding throughput. Results are bitwise independent
 /// of both the cap and the scratch reuse.

@@ -5,6 +5,12 @@
 //! heap allocations: activations, im2col scratch, and result logits all
 //! come from preallocated, reused storage.
 //!
+//! The same contract extends to *pooled* parallel execution: once the
+//! persistent worker pool has spawned its workers (warm-up), dispatching
+//! a `parallel_worker_chunks` region — task hand-off through preallocated
+//! slots, stack latch, park/unpark — must not allocate either, so the
+//! multi-worker steady state is checked at 2 forced workers as well.
+//!
 //! This file intentionally holds a single `#[test]`: the counting
 //! allocator is process-global, and a concurrent test allocating on
 //! another thread would produce false positives.
@@ -111,5 +117,30 @@ fn steady_state_f32_batch_is_allocation_free() {
         "expected the per-clip forward loop to allocate (got {forward_allocs}); \
          if it stopped allocating, update the docs table in EXPERIMENTS.md"
     );
+
+    // Pooled steady state: the same contract at 2 forced workers. The
+    // engine's batch region is a `parallel_worker_chunks` over the pool;
+    // warm-up spawns the persistent worker (which allocates, unarmed),
+    // after which dispatch must be hand-off-only.
+    set_thread_override(Some(2));
+    let mut engine2 = F32Engine::new(2, || build_network(&spec, 33));
+    let mut out2 = engine2.infer_batch(&clips); // sizes arenas + spawns pool worker
+    engine2.infer_batch_into(&clips, &mut out2);
+    let grow_before2 = engine2.arena_grow_events();
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..4 {
+        engine2.infer_batch_into(&clips, &mut out2);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let pooled_allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        pooled_allocs, 0,
+        "steady-state pooled (2-worker) inference performed {pooled_allocs} heap allocations"
+    );
+    assert_eq!(engine2.arena_grow_events(), grow_before2);
+    // Pooled output bitwise-matches the serial engine's.
+    assert_eq!(out2, baseline);
     set_thread_override(None);
 }

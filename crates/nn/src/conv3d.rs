@@ -267,7 +267,7 @@ impl Layer for Conv3d {
     }
 
     fn install_block_patterns(&mut self, get: &mut dyn FnMut(&str) -> Option<BlockPattern>) {
-        self.sparse = get(&self.weight.name).map(|pat| {
+        self.sparse = get(&self.weight.name).and_then(|pat| {
             let rows = self.in_channels() * self.kernel.0 * self.kernel.1 * self.kernel.2;
             assert_eq!(
                 (pat.m, pat.k),
@@ -279,7 +279,14 @@ impl Layer for Conv3d {
                 self.out_channels(),
                 rows
             );
-            BlockSparseWeights::compile(self.weight.value.data(), &pat)
+            // A (nearly) fully-enabled pattern skips too little work to
+            // pay for block-CSR indirection — run the dense kernel on
+            // the masked weights instead (bitwise identical; see
+            // `BlockPattern::prefers_dense`).
+            if pat.prefers_dense() {
+                return None;
+            }
+            Some(BlockSparseWeights::compile(self.weight.value.data(), &pat))
         });
     }
 

@@ -72,8 +72,8 @@ pub const NR: usize = 8;
 /// streaming DRAM.
 const GEMM_COL_BLOCK: usize = 256;
 
-/// Row count below which kernels stay serial: spawning scoped threads
-/// costs more than the multiply itself for tiny products.
+/// Row count below which kernels stay serial: even waking parked pool
+/// workers costs more than the multiply itself for tiny products.
 const GEMM_PARALLEL_MIN_ROWS: usize = 8;
 
 thread_local! {
@@ -570,7 +570,30 @@ impl BlockPattern {
         }
         self.keep.iter().filter(|&&b| b).count() as f32 / self.keep.len() as f32
     }
+
+    /// Whether a layer should skip the block-sparse kernel and run the
+    /// dense GEMM instead.
+    ///
+    /// At high enabled fractions block-CSR only adds overhead — the
+    /// per-block-row column walk, the packed-panel indirection, and the
+    /// loss of the dense kernel's long contiguous `k` streams — without
+    /// skipping meaningful work: BENCH_conv3d.json measured the sparse
+    /// path at 0.874x dense throughput on a fully-enabled pattern.
+    /// Because the masked dense weights and the compiled sparse form
+    /// accumulate the same products in the same `k` order, dense and
+    /// sparse execution are bitwise identical on such patterns, so the
+    /// fallback is purely a performance decision.
+    pub fn prefers_dense(&self) -> bool {
+        self.enabled_fraction() >= DENSE_FALLBACK_ENABLED_FRACTION
+    }
 }
+
+/// Enabled-block fraction at or above which [`BlockPattern::prefers_dense`]
+/// routes a layer to the dense kernel. At 95%+ enabled, at most ~5% of
+/// MACs can be skipped — less than the ~13% overhead the sparse path
+/// showed on dense patterns — while every workload the paper targets
+/// prunes far below this (the sweep's lightest setting keeps 50%).
+pub const DENSE_FALLBACK_ENABLED_FRACTION: f32 = 0.95;
 
 /// A pruned weight matrix compiled to block-CSR: per block row, the
 /// ascending list of enabled block columns plus their packed values.

@@ -18,8 +18,8 @@
 //!   block-sparse (`Tm x Tn` block-enable) compute path behind every
 //!   `matmul` in the workspace,
 //! * [`rng`] — seeded random initialisation (uniform, normal, Kaiming),
-//! * [`parallel`] — the scoped-thread parallel-for layer behind the
-//!   multi-threaded GEMM and convolution kernels (`P3D_THREADS`).
+//! * [`parallel`] — the persistent-worker-pool parallel-for layer behind
+//!   the multi-threaded GEMM and convolution kernels (`P3D_THREADS`).
 //!
 //! # Example
 //!

@@ -7,11 +7,47 @@
 //! **fixed, deterministic order** afterwards — so results are bitwise
 //! identical regardless of thread count.
 //!
+//! # The persistent worker pool
+//!
+//! Parallel regions execute on a process-wide pool of **persistent,
+//! parked workers** (`p3d-worker-N` threads). Workers are spawned lazily
+//! the first time a region needs them and then *parked* between regions,
+//! so the steady-state cost of a region is one atomic handshake and an
+//! unpark per worker instead of an OS thread spawn + stack allocation per
+//! call — the software analogue of the paper's persistent PE array, which
+//! amortises schedule setup across tiles instead of rebuilding it per
+//! tile. The submitting thread participates too: it runs the first chunk
+//! itself (and any chunk no idle worker could take), then waits on a
+//! latch until every worker finished, which is what makes handing workers
+//! borrowed data sound — a region never outlives its borrows, exactly as
+//! with the scoped threads this pool replaced.
+//!
+//! Work assignment is **chunked and static**: task `w` of a region owns
+//! the `w`-th contiguous range of chunks, computed in closed form from
+//! the logical worker count alone. Outputs therefore depend only on chunk
+//! indices — never on which OS thread ran a chunk, how many pool workers
+//! were awake, or how regions interleave — preserving bitwise
+//! reproducibility at any `P3D_THREADS`.
+//!
+//! Steady-state dispatch performs **zero heap allocations**: tasks are
+//! handed over through preallocated per-worker slots, the completion
+//! latch lives on the submitter's stack, and parking/unparking allocate
+//! nothing. (Growing the pool allocates, once, when a region first asks
+//! for more workers than have ever been live.)
+//!
+//! # Panic containment
+//!
+//! A panic inside a region closure is contained to its task: the worker
+//! records the payload, the region still waits for every other task, and
+//! the submitting call re-raises the first payload — callers see the same
+//! panic they would have seen from a scoped thread. The panicking
+//! worker's thread is retired and **replaced** on the next dispatch, so a
+//! contained panic can never leave the pool smaller, serial, or wedged;
+//! [`pool_stats`] exposes the replacement count.
+//!
 //! # Thread count
 //!
-//! Workers are `std::thread::scope` scoped threads (no pool to shut down,
-//! no `unsafe`, no external dependency). The effective worker count is,
-//! in priority order:
+//! The effective worker count is, in priority order:
 //!
 //! 1. a process-wide programmatic override ([`set_thread_override`]),
 //!    used by benches and determinism tests,
@@ -22,7 +58,7 @@
 //!
 //! With one worker (or one chunk) everything runs inline on the caller's
 //! thread — the serial path is the degenerate case, not a separate code
-//! path.
+//! path, and it touches neither the pool nor the heap.
 //!
 //! # Nesting
 //!
@@ -30,17 +66,50 @@
 //! nesting), so `Conv3d::forward` can batch-parallelise over clips while
 //! its inner `matmul` — which parallelises over output rows for the
 //! batch=1 inference case — degrades gracefully instead of
-//! oversubscribing cores.
+//! oversubscribing cores. Pool workers are marked *permanently*; the
+//! submitting thread is marked for exactly the span of the chunks it runs
+//! itself, via an RAII guard that restores the flag even if the closure
+//! panics — a contained panic cannot leave a thread wrongly serial.
 
-use std::cell::Cell;
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::Thread;
 
 /// `0` means "no override"; any other value is the forced worker count.
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard that marks the current thread as executing inside a
+/// parallel region and restores the previous marking on drop.
+///
+/// Dropping (not an explicit reset) is what makes the nesting flag
+/// panic-safe: if the region closure panics, unwinding still runs the
+/// drop, so a thread that outlives the panic — the submitting thread, or
+/// a pooled worker being reused — can never be left permanently serial.
+struct NestingGuard {
+    prev: bool,
+}
+
+impl NestingGuard {
+    fn enter() -> Self {
+        NestingGuard {
+            prev: IN_PARALLEL_WORKER.with(|f| f.replace(true)),
+        }
+    }
+}
+
+impl Drop for NestingGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_PARALLEL_WORKER.with(|f| f.set(prev));
+    }
 }
 
 /// Forces the worker count process-wide (`None` restores the
@@ -152,21 +221,422 @@ pub fn max_threads() -> usize {
     host_parallelism()
 }
 
-/// Splits `0..n_items` into at most `max_threads()` contiguous ranges of
-/// near-equal length (first `rem` ranges get one extra item).
-fn split_ranges(n_items: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
-    let workers = threads.min(n_items).max(1);
+// ---------------------------------------------------------------------------
+// The persistent pool
+// ---------------------------------------------------------------------------
+
+/// Slot is free: any dispatcher may claim it.
+const SLOT_IDLE: usize = 0;
+/// A dispatcher owns the slot and is writing its task.
+const SLOT_CLAIMED: usize = 1;
+/// A task is armed; the worker should (or is about to) run it.
+const SLOT_ARMED: usize = 2;
+/// The worker thread exited after a task panic; respawn before reuse.
+const SLOT_DEAD: usize = 3;
+
+/// One dispatched unit of region work, handed to a parked worker.
+///
+/// `ctx` points at the submitting frame's region closure and `latch` at
+/// its stack-allocated completion latch; both stay valid because the
+/// submitter cannot return until the latch reaches zero.
+#[derive(Clone, Copy)]
+struct PoolTask {
+    /// Monomorphised trampoline invoking the region closure.
+    call: unsafe fn(*const (), usize),
+    /// The region closure (`&F`), lifetime-erased.
+    ctx: *const (),
+    /// Which logical task of the region this worker runs.
+    index: usize,
+    /// The region's completion latch, lifetime-erased.
+    latch: *const Latch,
+}
+
+/// Stack-allocated completion latch for one region.
+struct Latch {
+    /// Tasks not yet finished (dispatched ones plus the dispatch
+    /// shortfall the submitter subtracts in bulk).
+    remaining: AtomicUsize,
+    /// The submitting thread, unparked by the last finisher.
+    waiter: Thread,
+    /// First panic payload caught by any worker of this region.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(remaining),
+            waiter: std::thread::current(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Records the first panic payload of the region (later ones are
+    /// dropped; one payload is all a re-raise can carry).
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Parks until every counted task has finished.
+    fn wait(&self) {
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            std::thread::park();
+        }
+    }
+}
+
+/// One pool worker's mailbox: a state machine plus the armed task.
+struct WorkerSlot {
+    /// `SLOT_IDLE` / `SLOT_CLAIMED` / `SLOT_ARMED` / `SLOT_DEAD`.
+    state: AtomicUsize,
+    /// The armed task. Written only by the dispatcher that owns the
+    /// `SLOT_CLAIMED` transition, read only by the worker after an
+    /// `Acquire` load observes `SLOT_ARMED` (stored with `Release` after
+    /// the write) — never concurrently.
+    task: UnsafeCell<Option<PoolTask>>,
+    /// Unpark handle of the current worker thread; replaced on respawn
+    /// (only ever mutated with the pool lock held).
+    thread: Mutex<Option<Thread>>,
+}
+
+// SAFETY: see the `task` field docs — the state machine serialises all
+// access to the one non-Sync field, and the raw pointers inside
+// `PoolTask` are only dereferenced while the submitting frame is pinned
+// waiting on the latch.
+unsafe impl Send for WorkerSlot {}
+unsafe impl Sync for WorkerSlot {}
+
+/// The process-wide pool: worker slots plus lifetime telemetry.
+struct Pool {
+    /// All worker slots ever created (slots are never removed; a dead
+    /// slot is revived by spawning a fresh thread onto it).
+    slots: Mutex<Vec<Arc<WorkerSlot>>>,
+    /// Worker threads spawned over the process lifetime.
+    spawned: AtomicUsize,
+    /// Spawns that replaced a worker retired by a task panic.
+    respawned: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        slots: Mutex::new(Vec::new()),
+        spawned: AtomicUsize::new(0),
+        respawned: AtomicUsize::new(0),
+    })
+}
+
+/// Arms a slot the caller owns (`SLOT_CLAIMED`) and wakes its worker.
+fn arm(slot: &WorkerSlot, task: PoolTask) {
+    debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_CLAIMED);
+    // SAFETY: the CLAIMED state excludes every other writer, and the
+    // worker only reads after observing the ARMED store below.
+    unsafe { *slot.task.get() = Some(task) };
+    slot.state.store(SLOT_ARMED, Ordering::Release);
+    if let Some(t) = slot
+        .thread
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+    {
+        t.unpark();
+    }
+}
+
+impl Pool {
+    /// Hands tasks `1..=claimed` of a region to parked workers: claims
+    /// idle slots, revives dead ones, and grows the pool when every
+    /// existing slot is busy. Returns how many tasks found a worker —
+    /// the submitter runs the rest itself, so dispatch can never block
+    /// on another region and a failed spawn degrades to inline
+    /// execution instead of an error.
+    fn dispatch(
+        &self,
+        call: unsafe fn(*const (), usize),
+        ctx: *const (),
+        latch: &Latch,
+        n_tasks: usize,
+    ) -> usize {
+        let want = n_tasks.saturating_sub(1);
+        if want == 0 {
+            return 0;
+        }
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let mut claimed = 0;
+        for slot in slots.iter() {
+            if claimed == want {
+                break;
+            }
+            let ready = match slot.state.load(Ordering::Acquire) {
+                SLOT_IDLE => slot
+                    .state
+                    .compare_exchange(
+                        SLOT_IDLE,
+                        SLOT_CLAIMED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok(),
+                SLOT_DEAD => self.respawn(slot),
+                // Armed by a concurrent region, or still in its few
+                // instructions of post-task bookkeeping — skip it.
+                _ => false,
+            };
+            if ready {
+                claimed += 1;
+                arm(
+                    slot,
+                    PoolTask {
+                        call,
+                        ctx,
+                        index: claimed,
+                        latch,
+                    },
+                );
+            }
+        }
+        while claimed < want {
+            match self.spawn_slot() {
+                Some(slot) => {
+                    claimed += 1;
+                    arm(
+                        &slot,
+                        PoolTask {
+                            call,
+                            ctx,
+                            index: claimed,
+                            latch,
+                        },
+                    );
+                    slots.push(slot);
+                }
+                None => break, // spawn failed; the caller runs the rest
+            }
+        }
+        claimed
+    }
+
+    /// Spawns a fresh worker on a fresh slot, born `SLOT_CLAIMED` so the
+    /// caller can arm it immediately.
+    fn spawn_slot(&self) -> Option<Arc<WorkerSlot>> {
+        let slot = Arc::new(WorkerSlot {
+            state: AtomicUsize::new(SLOT_CLAIMED),
+            task: UnsafeCell::new(None),
+            thread: Mutex::new(None),
+        });
+        self.spawn_onto(&slot).then(|| Arc::clone(&slot))
+    }
+
+    /// Revives a `SLOT_DEAD` slot with a fresh thread; `true` when the
+    /// slot ends up `SLOT_CLAIMED` and ready to arm.
+    fn respawn(&self, slot: &Arc<WorkerSlot>) -> bool {
+        // The retired worker stored DEAD as its final slot access, so
+        // this store cannot race with it.
+        slot.state.store(SLOT_CLAIMED, Ordering::Release);
+        if self.spawn_onto(slot) {
+            self.respawned.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            slot.state.store(SLOT_DEAD, Ordering::Release);
+            false
+        }
+    }
+
+    /// Spawns a worker thread bound to `slot`, recording its unpark
+    /// handle. `false` if the OS refused the thread.
+    fn spawn_onto(&self, slot: &Arc<WorkerSlot>) -> bool {
+        let id = self.spawned.load(Ordering::Relaxed);
+        let for_worker = Arc::clone(slot);
+        match std::thread::Builder::new()
+            .name(format!("p3d-worker-{id}"))
+            .spawn(move || worker_main(&for_worker))
+        {
+            Ok(handle) => {
+                *slot.thread.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(handle.thread().clone());
+                self.spawned.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// A pool worker's life: park until armed, run the task, report to the
+/// region's latch, repeat — or retire after containing a panic.
+fn worker_main(slot: &WorkerSlot) {
+    // A pool worker only ever runs region tasks, so it is *permanently*
+    // marked as inside a parallel region: nested helper calls degrade to
+    // the serial inline path, and there is no reset to forget.
+    IN_PARALLEL_WORKER.with(|f| f.set(true));
+    loop {
+        while slot.state.load(Ordering::Acquire) != SLOT_ARMED {
+            std::thread::park();
+        }
+        // SAFETY: ARMED (acquired above) means the dispatcher finished
+        // writing the task and will not touch the cell again until this
+        // worker publishes IDLE.
+        let task = unsafe { (*slot.task.get()).take() }.expect("armed slot without a task");
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: `ctx` is the region closure, pinned on the
+            // submitter's stack until the latch below reaches zero.
+            unsafe { (task.call)(task.ctx, task.index) }
+        }));
+        // SAFETY: same pinning argument; this worker's final latch
+        // access is the decrement below, which is exactly what releases
+        // the submitter.
+        let latch = unsafe { &*task.latch };
+        let died = result.is_err();
+        if let Err(payload) = result {
+            // DEAD is published *before* the latch decrement, so no
+            // dispatcher can arm a slot whose worker is exiting.
+            slot.state.store(SLOT_DEAD, Ordering::Release);
+            latch.record_panic(payload);
+        } else {
+            slot.state.store(SLOT_IDLE, Ordering::Release);
+        }
+        // Clone the waiter handle *before* the decrement: once
+        // `remaining` hits zero the submitter may free the latch, so the
+        // unpark must go through an owned handle.
+        let waiter = latch.waiter.clone();
+        if latch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            waiter.unpark();
+        }
+        if died {
+            return; // retire; the next dispatch revives the slot
+        }
+    }
+}
+
+/// Point-in-time pool telemetry (tests, diagnostics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned over the process lifetime, replacements
+    /// included.
+    pub spawned: usize,
+    /// Workers replaced after a contained task panic retired their
+    /// thread.
+    pub respawned: usize,
+    /// Worker slots currently backed by a live thread.
+    pub live: usize,
+}
+
+/// Snapshots the persistent pool's counters.
+pub fn pool_stats() -> PoolStats {
+    let p = pool();
+    let slots = p.slots.lock().unwrap_or_else(|e| e.into_inner());
+    PoolStats {
+        spawned: p.spawned.load(Ordering::Relaxed),
+        respawned: p.respawned.load(Ordering::Relaxed),
+        live: slots
+            .iter()
+            .filter(|s| s.state.load(Ordering::Acquire) != SLOT_DEAD)
+            .count(),
+    }
+}
+
+/// Executes `f(0) .. f(n_tasks - 1)` across the pool and returns only
+/// after every task finished — the pool equivalent of a `thread::scope`
+/// block. Tasks `1..` go to parked workers; the caller runs task `0`
+/// (and any task no idle worker could take) inline under the nesting
+/// guard. A panic in any task is contained and re-raised here with its
+/// original payload after the region fully drains.
+fn run_tasks<F: Fn(usize) + Sync>(n_tasks: usize, f: &F) {
+    /// Monomorphised trampoline: `ctx` is `&F`.
+    ///
+    /// # Safety
+    /// `ctx` must point at a live `F`.
+    unsafe fn call<F: Fn(usize) + Sync>(ctx: *const (), index: usize) {
+        (*(ctx as *const F))(index);
+    }
+    debug_assert!(n_tasks >= 2, "serial regions must not reach the pool");
+    let latch = Latch::new(n_tasks - 1);
+    let claimed = pool().dispatch(call::<F>, f as *const F as *const (), &latch, n_tasks);
+    let caller = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = NestingGuard::enter();
+        f(0);
+        for index in claimed + 1..n_tasks {
+            f(index);
+        }
+    }));
+    // Account in bulk for the tasks that never reached a worker.
+    let shortfall = n_tasks - 1 - claimed;
+    if shortfall > 0 {
+        latch.remaining.fetch_sub(shortfall, Ordering::AcqRel);
+    }
+    latch.wait();
+    if let Err(payload) = caller {
+        resume_unwind(payload);
+    }
+    let worker_panic = latch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked static assignment
+// ---------------------------------------------------------------------------
+
+/// The `w`-th of `workers` contiguous near-equal ranges over
+/// `0..n_items` (the first `n_items % workers` ranges get one extra
+/// item) — closed form, so the hot dispatch path computes per-task
+/// ownership without allocating a range table.
+fn task_range(n_items: usize, workers: usize, w: usize) -> Range<usize> {
     let base = n_items / workers;
     let rem = n_items % workers;
-    let mut out = Vec::with_capacity(workers);
-    let mut start = 0usize;
-    for w in 0..workers {
-        let len = base + usize::from(w < rem);
-        out.push(start..start + len);
-        start += len;
-    }
-    out
+    let start = w * base + w.min(rem);
+    start..start + base + usize::from(w < rem)
 }
+
+/// Splits `0..n_items` into at most `threads` contiguous ranges of
+/// near-equal length (first `rem` ranges get one extra item). Test
+/// surface for [`task_range`]'s partition property.
+#[cfg(test)]
+fn split_ranges(n_items: usize, threads: usize) -> Vec<Range<usize>> {
+    let workers = threads.min(n_items).max(1);
+    (0..workers).map(|w| task_range(n_items, workers, w)).collect()
+}
+
+/// A `Send + Sync` base-pointer wrapper for handing one buffer to pool
+/// tasks that each slice out a *disjoint* sub-range.
+struct SlicePtr<T>(*mut T);
+
+impl<T> Clone for SlicePtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SlicePtr<T> {}
+
+// SAFETY: tasks only materialise non-overlapping ranges (each derived
+// from its task index via `task_range`), and `run_tasks` keeps the
+// underlying exclusive borrow alive until every task completed.
+unsafe impl<T: Send> Send for SlicePtr<T> {}
+unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
+impl<T> SlicePtr<T> {
+    fn new(data: &mut [T]) -> Self {
+        SlicePtr(data.as_mut_ptr())
+    }
+
+    /// Materialises `range` of the wrapped buffer.
+    ///
+    /// # Safety
+    /// `range` must be in bounds of the wrapped buffer and disjoint from
+    /// every range any other live task materialises, and the buffer's
+    /// exclusive borrow must still be pinned by the submitting frame.
+    unsafe fn slice<'a>(self, range: Range<usize>) -> &'a mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(range.start), range.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The six parallel helpers
+// ---------------------------------------------------------------------------
 
 /// Runs `f` on contiguous index ranges covering `0..n_items`, in
 /// parallel. `f` receives the range it owns.
@@ -175,27 +645,17 @@ fn split_ranges(n_items: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
 /// available, or when already inside a parallel worker.
 pub fn parallel_for<F>(n_items: usize, f: F)
 where
-    F: Fn(std::ops::Range<usize>) + Sync,
+    F: Fn(Range<usize>) + Sync,
 {
     if n_items == 0 {
         return;
     }
-    let threads = max_threads();
-    if threads <= 1 || n_items == 1 {
+    let tasks = max_threads().min(n_items);
+    if tasks <= 1 {
         f(0..n_items);
         return;
     }
-    let ranges = split_ranges(n_items, threads);
-    std::thread::scope(|scope| {
-        for range in ranges {
-            let f = &f;
-            scope.spawn(move || {
-                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
-                f(range);
-                IN_PARALLEL_WORKER.with(|flag| flag.set(false));
-            });
-        }
-    });
+    run_tasks(tasks, &|w| f(task_range(n_items, tasks, w)));
 }
 
 /// Maps `f` over `0..n_items` in parallel, returning results **in index
@@ -237,32 +697,24 @@ where
     }
     assert!(chunk_len > 0, "chunk_len must be positive");
     let n_chunks = data.len().div_ceil(chunk_len);
-    let threads = max_threads();
-    if threads <= 1 || n_chunks == 1 {
+    let tasks = max_threads().min(n_chunks);
+    if tasks <= 1 {
         for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(ci, chunk);
         }
         return;
     }
-    // Hand each worker a contiguous run of whole chunks.
-    let ranges = split_ranges(n_chunks, threads);
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut consumed = 0usize;
-        for range in ranges {
-            let items = ((range.end * chunk_len).min(consumed + rest.len())) - consumed;
-            let (mine, tail) = rest.split_at_mut(items);
-            rest = tail;
-            consumed += items;
-            let f = &f;
-            let first_chunk = range.start;
-            scope.spawn(move || {
-                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
-                for (k, chunk) in mine.chunks_mut(chunk_len).enumerate() {
-                    f(first_chunk + k, chunk);
-                }
-                IN_PARALLEL_WORKER.with(|flag| flag.set(false));
-            });
+    // Hand each task a contiguous run of whole chunks.
+    let len = data.len();
+    let base = SlicePtr::new(data);
+    run_tasks(tasks, &|w| {
+        let chunks = task_range(n_chunks, tasks, w);
+        let items = chunks.start * chunk_len..(chunks.end * chunk_len).min(len);
+        // SAFETY: whole-chunk item ranges are disjoint across tasks and
+        // within bounds; the borrow is pinned by `run_tasks`.
+        let mine = unsafe { base.slice(items) };
+        for (k, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+            f(chunks.start + k, chunk);
         }
     });
 }
@@ -282,35 +734,24 @@ where
     let n_chunks = data.len().div_ceil(chunk_len);
     let mut results: Vec<Option<R>> = Vec::with_capacity(n_chunks);
     results.resize_with(n_chunks, || None);
-    let threads = max_threads();
-    if threads <= 1 || n_chunks == 1 {
+    let tasks = max_threads().min(n_chunks);
+    if tasks <= 1 {
         for ((ci, chunk), slot) in data.chunks_mut(chunk_len).enumerate().zip(&mut results) {
             *slot = Some(f(ci, chunk));
         }
     } else {
-        let ranges = split_ranges(n_chunks, threads);
-        std::thread::scope(|scope| {
-            let mut rest = data;
-            let mut result_rest = results.as_mut_slice();
-            let mut consumed = 0usize;
-            for range in ranges {
-                let items = ((range.end * chunk_len).min(consumed + rest.len())) - consumed;
-                let (mine, tail) = rest.split_at_mut(items);
-                rest = tail;
-                consumed += items;
-                let (my_slots, slot_tail) = result_rest.split_at_mut(range.len());
-                result_rest = slot_tail;
-                let f = &f;
-                let first_chunk = range.start;
-                scope.spawn(move || {
-                    IN_PARALLEL_WORKER.with(|flag| flag.set(true));
-                    for ((k, chunk), slot) in
-                        mine.chunks_mut(chunk_len).enumerate().zip(my_slots)
-                    {
-                        *slot = Some(f(first_chunk + k, chunk));
-                    }
-                    IN_PARALLEL_WORKER.with(|flag| flag.set(false));
-                });
+        let len = data.len();
+        let base = SlicePtr::new(data);
+        let slots = SlicePtr::new(&mut results);
+        run_tasks(tasks, &|w| {
+            let chunks = task_range(n_chunks, tasks, w);
+            let items = chunks.start * chunk_len..(chunks.end * chunk_len).min(len);
+            // SAFETY: both the data item range and the result slot range
+            // are disjoint across tasks and within bounds.
+            let mine = unsafe { base.slice(items) };
+            let my_slots = unsafe { slots.slice(chunks.clone()) };
+            for ((k, chunk), slot) in mine.chunks_mut(chunk_len).enumerate().zip(my_slots) {
+                *slot = Some(f(chunks.start + k, chunk));
             }
         });
     }
@@ -353,35 +794,27 @@ pub fn parallel_zip_chunk_map<A, B, F>(
     );
     let n_chunks = a.len() / chunk_a;
     assert_eq!(n_chunks, b.len() / chunk_b, "chunk count mismatch");
-    let threads = max_threads();
-    if threads <= 1 || n_chunks <= 1 {
+    let tasks = max_threads().min(n_chunks);
+    if tasks <= 1 {
         for (ci, (ca, cb)) in a.chunks_mut(chunk_a).zip(b.chunks_mut(chunk_b)).enumerate() {
             f(ci, ca, cb);
         }
         return;
     }
-    let ranges = split_ranges(n_chunks, threads);
-    std::thread::scope(|scope| {
-        let mut rest_a = a;
-        let mut rest_b = b;
-        for range in ranges {
-            let (mine_a, tail_a) = rest_a.split_at_mut(range.len() * chunk_a);
-            let (mine_b, tail_b) = rest_b.split_at_mut(range.len() * chunk_b);
-            rest_a = tail_a;
-            rest_b = tail_b;
-            let f = &f;
-            let first_chunk = range.start;
-            scope.spawn(move || {
-                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
-                for (k, (ca, cb)) in mine_a
-                    .chunks_mut(chunk_a)
-                    .zip(mine_b.chunks_mut(chunk_b))
-                    .enumerate()
-                {
-                    f(first_chunk + k, ca, cb);
-                }
-                IN_PARALLEL_WORKER.with(|flag| flag.set(false));
-            });
+    let base_a = SlicePtr::new(a);
+    let base_b = SlicePtr::new(b);
+    run_tasks(tasks, &|w| {
+        let chunks = task_range(n_chunks, tasks, w);
+        // SAFETY: chunk counts divide exactly (asserted above), so both
+        // item ranges are disjoint across tasks and within bounds.
+        let mine_a = unsafe { base_a.slice(chunks.start * chunk_a..chunks.end * chunk_a) };
+        let mine_b = unsafe { base_b.slice(chunks.start * chunk_b..chunks.end * chunk_b) };
+        for (k, (ca, cb)) in mine_a
+            .chunks_mut(chunk_a)
+            .zip(mine_b.chunks_mut(chunk_b))
+            .enumerate()
+        {
+            f(chunks.start + k, ca, cb);
         }
     });
 }
@@ -401,8 +834,9 @@ pub fn parallel_zip_chunk_map<A, B, F>(
 /// thread count, because the chunk→output mapping is fixed.
 ///
 /// The serial path (one worker) runs inline on the caller's thread and
-/// performs **zero heap allocations** — this is the steady-state hot
-/// path of the batched inference engine.
+/// performs **zero heap allocations** — as does pooled dispatch once the
+/// pool's workers exist — this is the steady-state hot path of the
+/// batched inference engine.
 ///
 /// # Panics
 ///
@@ -428,28 +862,18 @@ where
         }
         return;
     }
-    let ranges = split_ranges(n_chunks, workers);
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut states_rest = states;
-        let mut consumed = 0usize;
-        for range in ranges {
-            let items = ((range.end * chunk_len).min(consumed + rest.len())) - consumed;
-            let (mine, tail) = rest.split_at_mut(items);
-            rest = tail;
-            consumed += items;
-            let (state_head, state_tail) = states_rest.split_at_mut(1);
-            states_rest = state_tail;
-            let state = &mut state_head[0];
-            let f = &f;
-            let first_chunk = range.start;
-            scope.spawn(move || {
-                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
-                for (k, chunk) in mine.chunks_mut(chunk_len).enumerate() {
-                    f(state, first_chunk + k, chunk);
-                }
-                IN_PARALLEL_WORKER.with(|flag| flag.set(false));
-            });
+    let len = data.len();
+    let base = SlicePtr::new(data);
+    let state_base = SlicePtr::new(states);
+    run_tasks(workers, &|w| {
+        let chunks = task_range(n_chunks, workers, w);
+        let items = chunks.start * chunk_len..(chunks.end * chunk_len).min(len);
+        // SAFETY: chunk item ranges are disjoint across tasks, and task
+        // `w` is the only task touching `states[w]`.
+        let mine = unsafe { base.slice(items) };
+        let state = &mut unsafe { state_base.slice(w..w + 1) }[0];
+        for (k, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+            f(state, chunks.start + k, chunk);
         }
     });
 }
@@ -595,6 +1019,55 @@ mod tests {
         });
         // With >1 outer chunks every worker saw the nesting guard.
         assert_eq!(outer, vec![3, 3, 3, 3]);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn pool_contains_panics_and_replaces_workers() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(4));
+        // A panic in one task must surface with its payload after the
+        // region drains, and must not poison later regions.
+        let err = std::panic::catch_unwind(|| {
+            parallel_for(4, |range| {
+                if range.contains(&2) {
+                    panic!("task-level boom");
+                }
+            })
+        })
+        .expect_err("panic must propagate to the submitter");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("task-level boom"), "payload lost: {msg}");
+        // The pool keeps serving correct parallel regions afterwards.
+        let mut data = vec![0usize; 16];
+        parallel_chunk_map(&mut data, 1, |ci, chunk| chunk[0] = ci * 3);
+        assert_eq!(data, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn nesting_guard_is_panic_safe() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(2));
+        // Panic inside a region the *caller* helps execute: the caller's
+        // nesting flag must be restored by the RAII guard during unwind.
+        let _ = std::panic::catch_unwind(|| {
+            parallel_for(2, |range| {
+                if range.start == 0 {
+                    panic!("caller-side boom");
+                }
+            })
+        });
+        assert!(
+            !IN_PARALLEL_WORKER.with(|f| f.get()),
+            "caller left marked as a worker after a contained panic"
+        );
+        assert!(max_threads() > 1, "caller stuck serial after a panic");
         set_thread_override(None);
     }
 
