@@ -3,9 +3,16 @@
 //! Streams synthetic clips through the [`p3d_infer`] serving layer —
 //! the arena-backed f32 engine and the Q7.8 accelerator simulator —
 //! at several thread counts, compares every batched run bitwise against
-//! a per-clip sequential `forward` loop, and renders the result as a
-//! hand-rolled JSON document (`BENCH_inference.json`), mirroring
-//! `BENCH_conv3d.json` from the training-step benchmark.
+//! a per-clip sequential loop, and renders the result as a hand-rolled
+//! JSON document (`BENCH_inference.json`), mirroring `BENCH_conv3d.json`
+//! from the training-step benchmark.
+//!
+//! The sim backend serves through the fast **functional** Q7.8 engine
+//! (flat i64 accumulation + AVX2 integer kernels when the host has
+//! them); its sequential baseline runs the same engine so the paired
+//! batched-vs-sequential ratio isolates batching, not the engine split.
+//! The report records the active kernel path and the host's CPU
+//! features so numbers carry their provenance.
 //!
 //! Run the full benchmark with:
 //!
@@ -14,12 +21,13 @@
 //! ```
 
 use p3d_core::PrunedModel;
+use p3d_fpga::sim::SimScratch;
 use p3d_fpga::{AcceleratorConfig, Ports, QuantizedNetwork, Tiling};
 use p3d_infer::{BatchScheduler, F32Engine, InferenceEngine, LatencyStats, SimEngine};
 use p3d_models::{build_network, r2plus1d_micro, NetworkSpec};
 use p3d_nn::{Layer, Mode, Sequential};
 use p3d_tensor::parallel::set_thread_override;
-use p3d_tensor::{Tensor, TensorRng};
+use p3d_tensor::{simd, Tensor, TensorRng};
 use std::time::Instant;
 
 /// Stream and repetition parameters for one benchmark run.
@@ -102,6 +110,11 @@ pub struct BackendResult {
     pub batched_speedup: f64,
     /// `true` when every batched logit bit-matched the sequential loop.
     pub bitwise_equal: bool,
+    /// Compute engine behind the backend: `"arena"` for the f32 rows,
+    /// `"functional"` for the Q7.8 simulator rows (the serving path).
+    pub engine: String,
+    /// SIMD kernel path active during the run (`"avx2"` or `"scalar"`).
+    pub kernel_path: String,
 }
 
 /// A complete benchmark report.
@@ -240,18 +253,30 @@ pub fn run_inference_throughput(cfg: &InferBenchConfig) -> InferBenchReport {
             sequential_clips_per_s: pt.sequential_cps,
             batched_speedup: pt.best_paired_ratio,
             bitwise_equal: equal,
+            engine: "arena".into(),
+            kernel_path: simd::active().name().into(),
         });
 
-        // Q7.8 simulator backend.
+        // Q7.8 simulator backend. The sequential baseline runs the same
+        // fast functional engine serving uses (with a reused scratch),
+        // so the paired ratio measures batching alone; the functional
+        // engine itself is pinned bitwise to the cycle-approximate one
+        // by the conv_differential and sim_fast_speedup suites.
         let mut net = build_network(&spec, cfg.seed);
         let q = QuantizedNetwork::from_network(&spec, &mut net, micro_cfg());
         let q_seq = QuantizedNetwork::from_network(&spec, &mut net, micro_cfg());
         let mut engine = SimEngine::new(q, PrunedModel::dense());
         let _ = engine.infer_batch(&clips[..cfg.batch.min(clips.len())]); // warm scratches
+        let dense = PrunedModel::dense();
+        let mut seq_scratch = SimScratch::new();
         let pt = time_paired(
             &mut engine,
             |c, out| {
-                out.push(bits(&q_seq.forward(c, &PrunedModel::dense()).logits));
+                out.push(bits(
+                    &q_seq
+                        .forward_functional_with_scratch(c, &dense, &mut seq_scratch)
+                        .logits,
+                ));
             },
             &clips,
             cfg.batch,
@@ -267,6 +292,8 @@ pub fn run_inference_throughput(cfg: &InferBenchConfig) -> InferBenchReport {
             sequential_clips_per_s: pt.sequential_cps,
             batched_speedup: pt.best_paired_ratio,
             bitwise_equal: equal,
+            engine: "functional".into(),
+            kernel_path: simd::active().name().into(),
         });
     }
     set_thread_override(None);
@@ -284,9 +311,12 @@ impl InferBenchReport {
             .map(|n| n.get())
             .unwrap_or(1);
         let mut s = String::new();
+        let feats = simd::cpu_features();
+        let feats = if feats.is_empty() { "none" } else { feats };
         s.push_str("{\n");
         s.push_str("  \"benchmark\": \"batched_inference\",\n");
         s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+        s.push_str(&format!("  \"cpu_features\": \"{feats}\",\n"));
         s.push_str("  \"config\": {\n");
         s.push_str("    \"model\": \"r2plus1d_micro\",\n");
         s.push_str(&format!("    \"clips\": {},\n", c.clips));
@@ -297,8 +327,10 @@ impl InferBenchReport {
         s.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"backend\": \"{}\", \"threads\": {}, \"clips_per_s\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"sequential_clips_per_s\": {:.2}, \"batched_speedup\": {:.3}, \"bitwise_equal\": {}}}{}\n",
+                "    {{\"backend\": \"{}\", \"engine\": \"{}\", \"kernel_path\": \"{}\", \"threads\": {}, \"clips_per_s\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"sequential_clips_per_s\": {:.2}, \"batched_speedup\": {:.3}, \"bitwise_equal\": {}}}{}\n",
                 r.backend,
+                r.engine,
+                r.kernel_path,
                 r.threads,
                 r.clips_per_s,
                 r.latency.p50_ms,
@@ -335,6 +367,10 @@ mod tests {
         assert!(json.contains("\"backend\": \"f32\""));
         assert!(json.contains("\"backend\": \"sim\""));
         assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"cpu_features\""));
+        assert!(json.contains("\"engine\": \"functional\""));
+        let path = p3d_tensor::simd::active().name();
+        assert!(json.contains(&format!("\"kernel_path\": \"{path}\"")));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -1,5 +1,16 @@
-//! The tiled convolution engine (Algorithm 2) with block-enable
-//! skipping.
+//! The **cycle-approximate** tiled convolution engine (Algorithm 2)
+//! with block-enable skipping.
+//!
+//! This engine walks the exact tile loop nest of the hardware — volume
+//! tiles, output-channel blocks, input-channel blocks — accumulating
+//! per-tile cycle terms alongside the arithmetic, which makes it the
+//! reference for latency-model validation (`sim_cycles_match_latency_model`).
+//! Serving goes through [`crate::sim::functional`] instead: the same
+//! Q7.8 arithmetic with the tile walk stripped out and the inner loops
+//! vectorized, proven **bitwise identical** to this engine (both paths
+//! accumulate every contribution of an output element exactly in a wide
+//! integer register before a single round-and-saturate, and exact
+//! integer addition is order-independent).
 
 use crate::config::AcceleratorConfig;
 use crate::latency::tile_terms;

@@ -1,8 +1,19 @@
-//! A cycle-approximate **functional** simulator of the accelerator of
-//! Fig. 2: the tiled convolution engine (Algorithm 2) with double
-//! buffering, the `Tm x Tn` MAC array with wide accumulation, the block
-//! enable signal that skips pruned weight blocks, and the
-//! post-processing unit (bias / batch norm / shortcut / ReLU / pooling).
+//! A functional simulator of the accelerator of Fig. 2: the tiled
+//! convolution engine (Algorithm 2) with double buffering, the
+//! `Tm x Tn` MAC array with wide accumulation, the block enable signal
+//! that skips pruned weight blocks, and the post-processing unit
+//! (bias / batch norm / shortcut / ReLU / pooling).
+//!
+//! The simulator has two convolution engines producing bitwise-equal
+//! results:
+//!
+//! * [`cycle`] — the **cycle-approximate** tile-loop engine that walks
+//!   Algorithm 2's exact loop nest and accounts cycles alongside the
+//!   arithmetic; kept for latency-model validation,
+//! * [`functional`] — the **fast functional** path serving goes
+//!   through: flat i64 accumulation, hoisted padding tests, AVX2
+//!   integer kernels (with a bitwise-identical scalar fallback), and
+//!   statistics reproduced analytically from the same tile walk.
 //!
 //! The simulator computes real outputs in the paper's Q7.8 fixed point,
 //! so it validates three things the analytic models cannot:
@@ -14,10 +25,12 @@
 //! 3. the cycle counts of the latency equations correspond to the loop
 //!    structure actually executed.
 
-pub mod conv;
+pub mod cycle;
+pub mod functional;
 pub mod network;
 pub mod post;
 
-pub use conv::{run_conv, run_conv_with_scratch, ConvStats};
-pub use network::{QuantizedNetwork, SimOutput, SimScratch};
+pub use cycle::{run_conv, run_conv_with_scratch, ConvStats};
+pub use functional::{run_conv_functional, run_conv_functional_with_scratch};
+pub use network::{QuantizedNetwork, SimOutput, SimPath, SimScratch};
 pub use post::PostProcessor;

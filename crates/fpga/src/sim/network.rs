@@ -7,7 +7,8 @@
 //! convolution engine with block-enable maps.
 
 use crate::config::AcceleratorConfig;
-use crate::sim::conv::{run_conv_with_scratch, ConvStats};
+use crate::sim::cycle::{run_conv_with_scratch, ConvStats};
+use crate::sim::functional::run_conv_functional_with_scratch;
 use crate::sim::post::PostProcessor;
 use p3d_core::PrunedModel;
 use p3d_models::{build::bn_names, ConvInstance, NetworkSpec, Node};
@@ -16,15 +17,33 @@ use p3d_tensor::fixed::MacAccumulator;
 use p3d_tensor::{Fixed16, FixedTensor, Tensor};
 use std::collections::BTreeMap;
 
+/// Which convolution engine a simulated forward runs on.
+///
+/// The two engines are **bitwise identical** in both outputs and
+/// statistics (pinned by the `conv_differential` and determinism
+/// suites); the choice only trades speed for loop-level fidelity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimPath {
+    /// The fast functional Q7.8 path (flat i64 accumulation, AVX2
+    /// integer kernels, analytic statistics) — the serving default.
+    #[default]
+    Functional,
+    /// The cycle-approximate tile-loop engine that executes Algorithm
+    /// 2's exact loop nest; kept for latency-model validation.
+    CycleApproximate,
+}
+
 /// Reusable per-worker scratch for repeated simulated forwards.
 ///
-/// Holds the tile-accumulator buffer the conv engine fills per (volume
-/// tile x channel block). One `SimScratch` per serving worker turns the
-/// engine's per-tile allocations into buffer reuse across every layer of
-/// every clip; outputs are bitwise identical to the scratch-free path.
+/// Holds the tile-accumulator buffer the cycle engine fills per (volume
+/// tile x channel block) and the flat i64 accumulator of the functional
+/// engine. One `SimScratch` per serving worker turns per-layer
+/// allocations into buffer reuse across every layer of every clip;
+/// outputs are bitwise identical to the scratch-free path.
 #[derive(Default)]
 pub struct SimScratch {
     acc: Vec<MacAccumulator>,
+    acc64: Vec<i64>,
 }
 
 impl SimScratch {
@@ -170,24 +189,55 @@ impl QuantizedNetwork {
     }
 
     /// Runs one clip `[C, D, H, W]` (f32, quantised on the way in) with
-    /// block-enable maps from `pruned`.
+    /// block-enable maps from `pruned`, on the **cycle-approximate**
+    /// engine.
     pub fn forward(&self, clip: &Tensor, pruned: &PrunedModel) -> SimOutput {
         self.forward_with_scratch(clip, pruned, &mut SimScratch::new())
     }
 
-    /// [`QuantizedNetwork::forward`] reusing `scratch` across calls —
-    /// the batched-serving path. Bitwise identical to `forward`.
+    /// Runs one clip on the **fast functional** engine — the serving
+    /// path. Bitwise identical to [`QuantizedNetwork::forward`] in both
+    /// logits and statistics.
+    pub fn forward_functional(&self, clip: &Tensor, pruned: &PrunedModel) -> SimOutput {
+        self.forward_functional_with_scratch(clip, pruned, &mut SimScratch::new())
+    }
+
+    /// [`QuantizedNetwork::forward`] reusing `scratch` across calls.
+    /// Bitwise identical to `forward`.
     pub fn forward_with_scratch(
         &self,
         clip: &Tensor,
         pruned: &PrunedModel,
         scratch: &mut SimScratch,
     ) -> SimOutput {
+        self.forward_on_path(clip, pruned, scratch, SimPath::CycleApproximate)
+    }
+
+    /// [`QuantizedNetwork::forward_functional`] reusing `scratch` across
+    /// calls — the batched-serving hot path.
+    pub fn forward_functional_with_scratch(
+        &self,
+        clip: &Tensor,
+        pruned: &PrunedModel,
+        scratch: &mut SimScratch,
+    ) -> SimOutput {
+        self.forward_on_path(clip, pruned, scratch, SimPath::Functional)
+    }
+
+    /// The shared walk, parameterised by convolution engine.
+    pub fn forward_on_path(
+        &self,
+        clip: &Tensor,
+        pruned: &PrunedModel,
+        scratch: &mut SimScratch,
+        path: SimPath,
+    ) -> SimOutput {
         assert_eq!(clip.shape().rank(), 4, "expected [C, D, H, W] clip");
         let mut ctx = WalkCtx {
             net: self,
             pruned,
             scratch,
+            path,
             conv_idx: 0,
             bn_idx: 0,
             stats: ConvStats::default(),
@@ -236,6 +286,7 @@ struct WalkCtx<'a> {
     net: &'a QuantizedNetwork,
     pruned: &'a PrunedModel,
     scratch: &'a mut SimScratch,
+    path: SimPath,
     conv_idx: usize,
     bn_idx: usize,
     stats: ConvStats,
@@ -261,14 +312,24 @@ impl WalkCtx<'_> {
                 self.conv_idx += 1;
                 let weights = &self.net.conv_weights[&spec.name];
                 let mask = self.pruned.mask(&spec.name);
-                let (mut out, stats) = run_conv_with_scratch(
-                    inst,
-                    weights,
-                    &map,
-                    mask,
-                    &self.net.config,
-                    &mut self.scratch.acc,
-                );
+                let (mut out, stats) = match self.path {
+                    SimPath::Functional => run_conv_functional_with_scratch(
+                        inst,
+                        weights,
+                        &map,
+                        mask,
+                        &self.net.config,
+                        &mut self.scratch.acc64,
+                    ),
+                    SimPath::CycleApproximate => run_conv_with_scratch(
+                        inst,
+                        weights,
+                        &map,
+                        mask,
+                        &self.net.config,
+                        &mut self.scratch.acc,
+                    ),
+                };
                 self.accumulate(stats);
                 if let Some(bias) = self.net.conv_bias.get(&spec.name) {
                     PostProcessor::bias(&mut out, bias);

@@ -8,7 +8,7 @@
 //! the convolution engine, so they contribute no cycles in the
 //! performance model.
 
-use p3d_tensor::{Fixed16, FixedTensor, Shape};
+use p3d_tensor::{div_round_nearest, Fixed16, FixedTensor, Shape};
 
 /// Stateless fixed-point post-processing operations.
 pub struct PostProcessor;
@@ -104,6 +104,12 @@ impl PostProcessor {
 
     /// Global spatio-temporal average pooling `[M, D, H, W] -> [M]`,
     /// accumulating at full precision before the final division.
+    ///
+    /// The division rounds to nearest with [`div_round_nearest`] — the
+    /// same add-half-then-floor rule as `MacAccumulator::finish` — not
+    /// Rust's `/`, which truncates toward zero and would bias every
+    /// negative pooled activation low by up to one ULP (e.g. a channel
+    /// summing to `-3` over 4 positions must pool to `-1/256`, not `0`).
     pub fn global_avg_pool(t: &FixedTensor) -> Vec<Fixed16> {
         let s = t.shape();
         assert_eq!(s.rank(), 4, "expected [M, D, H, W]");
@@ -114,7 +120,8 @@ impl PostProcessor {
                     .iter()
                     .map(|x| x.to_bits() as i64)
                     .sum();
-                Fixed16::from_bits((sum / vol as i64).clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+                let avg = div_round_nearest(sum, vol as i64);
+                Fixed16::from_bits(avg.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
             })
             .collect()
     }
@@ -195,6 +202,59 @@ mod tests {
         let t = FixedTensor::quantize(&Tensor::full([1, 4, 8, 8], 1.0 / 256.0));
         let avg = PostProcessor::global_avg_pool(&t);
         assert_eq!(avg[0], fx(1.0 / 256.0));
+    }
+
+    #[test]
+    fn global_avg_pool_rounds_to_nearest_not_toward_zero() {
+        // A negative channel summing to -3 raw ULPs over 4 positions:
+        // exact average -0.75 ULP. Truncation toward zero (the old bug)
+        // gave 0; round-to-nearest must give -1 ULP.
+        let mut t = FixedTensor::zeros([1, 1, 2, 2]);
+        t.data_mut()[0] = Fixed16::from_bits(-3);
+        let avg = PostProcessor::global_avg_pool(&t);
+        assert_eq!(avg[0].to_bits(), -1, "negative average truncated toward zero");
+
+        // Positive mirror: +3/4 ULP rounds up to 1 ULP (unchanged by the
+        // fix — truncation only biased the negative side).
+        let mut t = FixedTensor::zeros([1, 1, 2, 2]);
+        t.data_mut()[0] = Fixed16::from_bits(3);
+        assert_eq!(PostProcessor::global_avg_pool(&t)[0].to_bits(), 1);
+
+        // Ties use finish()'s rule: round toward +infinity on both signs.
+        let mut t = FixedTensor::zeros([2, 1, 2, 1]);
+        t.data_mut()[0] = Fixed16::from_bits(1); // +1/2 -> 1
+        t.data_mut()[2] = Fixed16::from_bits(-1); // -1/2 -> 0
+        let avg = PostProcessor::global_avg_pool(&t);
+        assert_eq!((avg[0].to_bits(), avg[1].to_bits()), (1, 0));
+    }
+
+    #[test]
+    fn global_avg_pool_matches_exact_i64_reference() {
+        // Random channels against an exact i64 reference: the pooled
+        // value must be the representable Q7.8 number nearest the true
+        // rational average (ties toward +inf), for every sign pattern.
+        let mut rng = TensorRng::seed(31);
+        let t = FixedTensor::quantize(&rng.uniform_tensor([8, 3, 5, 7], -2.0, 2.0));
+        let s = t.shape();
+        let vol = (s.len() / s.dim(0)) as i64;
+        let avg = PostProcessor::global_avg_pool(&t);
+        for (ch, &got) in avg.iter().enumerate() {
+            let sum: i64 = t.data()[ch * vol as usize..(ch + 1) * vol as usize]
+                .iter()
+                .map(|x| x.to_bits() as i64)
+                .sum();
+            // Exact nearest integer to sum/vol with ties toward +inf:
+            // floor((2*sum + vol) / (2*vol)) evaluated in i64.
+            let expect = (2 * sum + vol).div_euclid(2 * vol);
+            assert_eq!(
+                got.to_bits() as i64,
+                expect,
+                "channel {ch}: sum {sum} over {vol}"
+            );
+            // And the defect bound: |vol*got - sum| <= vol/2.
+            let err2 = (2 * (vol * got.to_bits() as i64 - sum)).abs();
+            assert!(err2 <= vol, "channel {ch} not nearest");
+        }
     }
 
     #[test]

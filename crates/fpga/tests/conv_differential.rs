@@ -214,3 +214,134 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Functional-vs-cycle differential: the fast serving path must be
+// value-identical — outputs AND statistics — to the cycle-approximate
+// engine on random geometry, dense and block-masked, plus an explicit
+// AVX2-vs-forced-scalar bitwise gate at full i16 range (both rails).
+// ---------------------------------------------------------------------------
+
+use p3d_fpga::sim::run_conv_functional;
+use p3d_tensor::{simd, Fixed16};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fast functional path reproduces the cycle engine bit-for-bit
+    /// on arbitrary shapes, strides and pads — the whole result pair,
+    /// not just the tensor: cycles, MACs and buffer traffic too.
+    #[test]
+    fn functional_path_equals_cycle_engine(
+        (m, n) in (1usize..=6, 1usize..=6),
+        kernel in (1usize..=3, 1usize..=3, 1usize..=3),
+        stride in (1usize..=2, 1usize..=2, 1usize..=2),
+        pad in (0usize..=1, 0usize..=1, 0usize..=1),
+        extra in (0usize..=3, 0usize..=3, 0usize..=3),
+        seed in 0u64..1_000_000,
+    ) {
+        let (case, _) = Case::build(m, n, kernel, stride, pad, extra, seed, |_| None);
+        let qw = FixedTensor::quantize(&case.w);
+        let qx = FixedTensor::quantize(&case.x);
+        let (a, sa) = run_conv(&case.inst, &qw, &qx, None, &cfg());
+        let (b, sb) = run_conv_functional(&case.inst, &qw, &qx, None, &cfg());
+        prop_assert_eq!(&a, &b, "functional output diverged from cycle engine");
+        prop_assert_eq!(sa, sb, "functional stats diverged from cycle engine");
+    }
+
+    /// Same, with random block-skip patterns wired through both engines:
+    /// skipping must be applied identically (including the skipped-block
+    /// and cycle accounting).
+    #[test]
+    fn functional_path_equals_cycle_engine_masked(
+        (m, n) in (1usize..=6, 1usize..=6),
+        kernel in (1usize..=3, 1usize..=3, 1usize..=3),
+        stride in (1usize..=2, 1usize..=2, 1usize..=2),
+        pad in (0usize..=1, 0usize..=1, 0usize..=1),
+        extra in (0usize..=3, 0usize..=3, 0usize..=3),
+        seed in 0u64..1_000_000,
+        keep_pattern in prop::collection::vec(any::<bool>(), 1..16),
+    ) {
+        let (case, mask) = Case::build(m, n, kernel, stride, pad, extra, seed, |w| {
+            let grid = BlockGrid::for_weight(w, BlockShape::new(2, 2));
+            let keep: Vec<bool> = (0..grid.num_blocks())
+                .map(|i| keep_pattern[i % keep_pattern.len()])
+                .collect();
+            Some(LayerBlockMask::new(grid, keep))
+        });
+        let mask = mask.expect("mask built above");
+        let qw = FixedTensor::quantize(&case.w);
+        let qx = FixedTensor::quantize(&case.x);
+        let (a, sa) = run_conv(&case.inst, &qw, &qx, Some(&mask), &cfg());
+        let (b, sb) = run_conv_functional(&case.inst, &qw, &qx, Some(&mask), &cfg());
+        prop_assert_eq!(&a, &b, "masked functional output diverged");
+        prop_assert_eq!(sa, sb, "masked functional stats diverged");
+        prop_assert_eq!(sb.blocks_skipped, sa.blocks_skipped);
+    }
+}
+
+/// Fills a fixed tensor with the full i16 range, rails included: the
+/// AVX2 integer kernel must be exact where `_mm256_madd_epi16`-style
+/// shortcuts overflow (paired products of `-32768 * -32768`).
+fn full_range_tensor(dims: &[usize], seed: u64) -> FixedTensor {
+    let mut t = FixedTensor::zeros(Shape::from(dims));
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = match i % 7 {
+            0 => Fixed16::MIN,            // -32768: the overflow rail
+            1 => Fixed16::MAX,            // 32767
+            2 => Fixed16::ZERO,           // exercises the zero-weight skip
+            _ => Fixed16::from_bits((state >> 48) as i16),
+        };
+    }
+    t
+}
+
+/// AVX2-vs-scalar bitwise gate for the integer conv kernel, at full
+/// operand range. Runs the functional path once on the detected SIMD
+/// level and once with the scalar fallback explicitly forced; on a
+/// non-AVX2 host this degenerates to scalar-vs-scalar. Also pins the
+/// (saturation-heavy) result against the cycle engine, which never
+/// dispatches to SIMD at all.
+#[test]
+fn functional_avx2_and_forced_scalar_bitwise_identical_at_rails() {
+    let inst = ConvInstance {
+        spec: Conv3dSpec {
+            name: "rails".into(),
+            stage: "test".into(),
+            out_channels: 4,
+            in_channels: 6,
+            kernel: (2, 3, 3),
+            stride: (1, 1, 1),
+            pad: (1, 1, 1),
+            bias: false,
+        },
+        input: (6, 3, 9, 17), // W=17: vector body + odd scalar tail
+        output: (4, 4, 9, 17),
+    };
+    let qw = full_range_tensor(&[4, 6, 2, 3, 3], 0xfeed);
+    let qx = full_range_tensor(&[6, 3, 9, 17], 0xbeef);
+
+    let (simd_out, simd_stats) = run_conv_functional(&inst, &qw, &qx, None, &cfg());
+    simd::force_scalar(true);
+    let forced_level = simd::active();
+    let (scalar_out, scalar_stats) = run_conv_functional(&inst, &qw, &qx, None, &cfg());
+    simd::force_scalar(false);
+    assert_eq!(forced_level.name(), "scalar");
+    assert_eq!(
+        simd_out, scalar_out,
+        "{} integer kernel diverged from forced scalar at the rails",
+        simd::detected().name()
+    );
+    assert_eq!(simd_stats, scalar_stats);
+
+    // Cross-check against the never-vectorized cycle engine.
+    let (cycle_out, cycle_stats) = run_conv(&inst, &qw, &qx, None, &cfg());
+    assert_eq!(simd_out, cycle_out);
+    assert_eq!(simd_stats, cycle_stats);
+    // The rail-heavy operands must actually exercise saturation.
+    assert!(simd_stats.saturated_words > 0, "rails did not saturate");
+}

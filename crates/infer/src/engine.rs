@@ -335,8 +335,14 @@ impl InferenceEngine for F32Engine {
 /// shared read-only across workers; the block-enable maps from the
 /// pruned-model artifact gate computation exactly as in `p3d simulate`.
 ///
-/// Each worker owns a [`SimScratch`] so the conv engine's per-tile
-/// accumulator buffers are reused across clips instead of reallocated,
+/// Serving runs the **fast functional** Q7.8 path
+/// ([`QuantizedNetwork::forward_functional_with_scratch`]): flat i64
+/// accumulation with AVX2 integer kernels, bitwise identical in logits
+/// and statistics to the cycle-approximate engine that `p3d simulate`
+/// uses for latency validation.
+///
+/// Each worker owns a [`SimScratch`] so the conv engine's accumulator
+/// buffers are reused across clips instead of reallocated,
 /// and the worker count is capped at the host's physical parallelism:
 /// the simulator is pure compute, so running more workers than cores
 /// (e.g. a forced `P3D_THREADS` above `available_parallelism`) only adds
@@ -417,7 +423,7 @@ impl InferenceEngine for SimEngine {
         let net = &self.net;
         let pruned = &self.pruned;
         parallel_worker_chunks(out, 1, &mut self.workers[..cap], |w, idx, slot| {
-            let r = net.forward_with_scratch(&clips[idx], pruned, &mut w.scratch);
+            let r = net.forward_functional_with_scratch(&clips[idx], pruned, &mut w.scratch);
             slot[0].logits.clear();
             slot[0].logits.extend_from_slice(&r.logits);
             slot[0].prediction = r.prediction;
@@ -439,7 +445,7 @@ impl InferenceEngine for SimEngine {
         let pruned = &self.pruned;
         parallel_worker_chunks(out, 1, &mut self.workers[..cap], |w, idx, slot| {
             slot[0] = supervise_slot(ctx[idx], chaos, || {
-                let r = net.forward_with_scratch(&clips[idx], pruned, &mut w.scratch);
+                let r = net.forward_functional_with_scratch(&clips[idx], pruned, &mut w.scratch);
                 let saturation = r.saturation_rate();
                 (
                     ClipResult {

@@ -35,7 +35,40 @@ pub const SCALE: f32 = (1 << FRAC_BITS) as f32;
 /// assert_eq!(Fixed16::from_f32(500.0), Fixed16::MAX); // saturates
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct Fixed16(i16);
+
+/// Reinterprets a slice of [`Fixed16`] as its raw `i16` bits.
+///
+/// Sound because `Fixed16` is `#[repr(transparent)]` over `i16`. This is
+/// the zero-copy view the SIMD kernels load vectors from.
+pub fn bits_of(slice: &[Fixed16]) -> &[i16] {
+    // SAFETY: Fixed16 is repr(transparent) over i16, so the layouts and
+    // validity invariants are identical (every bit pattern is valid).
+    unsafe { std::slice::from_raw_parts(slice.as_ptr() as *const i16, slice.len()) }
+}
+
+/// Round-to-nearest signed integer division with the same tie rule as
+/// [`MacAccumulator::finish`] (add half the divisor, then floor).
+///
+/// `finish` rounds a Q*.16 sum with `(acc + 2^(FRAC_BITS-1)) >> FRAC_BITS`
+/// — add half an output ULP, then floor (arithmetic shift). This helper
+/// generalises exactly that rule to an arbitrary positive divisor:
+/// `floor((n + d/2) / d)`, computed as `(2n + d).div_euclid(2d)` so odd
+/// divisors keep the exact half offset without a fractional intermediate
+/// (callers pass Q-format sums far below `i64::MAX / 2`, so the doubling
+/// cannot overflow).
+/// For `d = 2^k` it is bit-for-bit `(n + 2^(k-1)) >> k`. Ties round
+/// toward +infinity for both signs, matching `finish`/`saturating_mul`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `d <= 0` (division by the resulting zero or
+/// negative doubled divisor).
+pub fn div_round_nearest(n: i64, d: i64) -> i64 {
+    debug_assert!(d > 0, "div_round_nearest requires a positive divisor");
+    (2 * n + d).div_euclid(2 * d)
+}
 
 impl Fixed16 {
     /// Zero.
@@ -409,6 +442,42 @@ mod tests {
         let q = FixedTensor::quantize(&t);
         let d = q.dequantize();
         assert!(d.allclose(&t, FixedTensor::half_ulp() + 1e-6));
+    }
+
+    #[test]
+    fn div_round_nearest_matches_finish_for_power_of_two() {
+        // For d = 2^FRAC_BITS the helper must reproduce finish()'s
+        // add-half-then-shift rounding exactly, including negatives.
+        for acc in [-100_000i64, -385, -384, -383, -129, -128, -127, -1, 0, 1, 127, 128, 129, 383, 384, 100_000] {
+            let shifted = (acc + (1 << (FRAC_BITS - 1))) >> FRAC_BITS;
+            assert_eq!(div_round_nearest(acc, 1 << FRAC_BITS), shifted, "acc={acc}");
+        }
+    }
+
+    #[test]
+    fn div_round_nearest_arbitrary_divisors() {
+        // floor((n + d/2) / d) against an exact rational reference.
+        for d in 1i64..=9 {
+            for n in -50i64..=50 {
+                let expect = (2 * n + d).div_euclid(2 * d);
+                assert_eq!(div_round_nearest(n, d), expect);
+                // Result is always the nearest integer (tie -> larger).
+                let r = div_round_nearest(n, d);
+                let err2 = (2 * (n - r * d)).abs(); // |remainder| * 2
+                assert!(err2 <= d, "n={n} d={d} r={r}");
+            }
+        }
+        // Spot checks: truncation would give 0 for -3/4; nearest gives -1.
+        assert_eq!(div_round_nearest(-3, 4), -1);
+        assert_eq!(div_round_nearest(3, 4), 1);
+        assert_eq!(div_round_nearest(-2, 4), 0); // tie rounds toward +inf
+        assert_eq!(div_round_nearest(2, 4), 1);
+    }
+
+    #[test]
+    fn bits_view_is_transparent() {
+        let v = [Fixed16::from_bits(-1), Fixed16::ZERO, Fixed16::MAX];
+        assert_eq!(bits_of(&v), &[-1i16, 0, i16::MAX]);
     }
 
     #[test]

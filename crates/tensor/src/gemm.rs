@@ -269,6 +269,32 @@ fn microkernel(a_rows: &[&[f32]], panel: &[f32], acc: &mut [[f32; NR]; MR]) {
 /// per `p` step, instead of the naive kernel's load+store of the output
 /// row on every step.
 ///
+/// Dispatches between the explicit AVX2 kernel and the portable scalar
+/// body via [`crate::simd::active`]; the two are **bitwise identical**
+/// (see [`avx2`] module docs), so the choice is invisible to every
+/// bitwise gate.
+#[inline]
+fn microkernel_full(
+    r0: &[f32],
+    r1: &[f32],
+    r2: &[f32],
+    r3: &[f32],
+    panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::use_avx2() {
+        // SAFETY: use_avx2() is true only when runtime detection proved
+        // AVX2 support, which is exactly the target_feature the kernel
+        // requires.
+        unsafe { avx2::microkernel_full(r0, r1, r2, r3, panel, acc) };
+        return;
+    }
+    microkernel_full_scalar(r0, r1, r2, r3, panel, acc);
+}
+
+/// Portable body of [`microkernel_full`].
+///
 /// The `NR`-wide updates are branch-free with fixed trip counts, so
 /// they autovectorize; the zero-skip guard sits *outside* them, one
 /// scalar test per `(p, row)`, which honours the contract (a zero left
@@ -277,7 +303,7 @@ fn microkernel(a_rows: &[&[f32]], panel: &[f32], acc: &mut [[f32; NR]; MR]) {
 /// the `r*.len() == k == panel.len() / NR` invariant, so the loop body
 /// is bounds-check-free.
 #[inline]
-fn microkernel_full(
+fn microkernel_full_scalar(
     r0: &[f32],
     r1: &[f32],
     r2: &[f32],
@@ -844,7 +870,26 @@ fn block_row_panel(
 /// sub-panel against the enabled `k` ranges of one packed panel, with
 /// the same named-register accumulators (and the same zero-skip guard
 /// and ascending-`k` accumulation order) as [`microkernel_full`].
+/// Dispatches to the AVX2 twin exactly like the dense kernel.
+#[inline]
 fn bs_tile_full(ranges: &[(usize, usize)], sub: &[f32], panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::use_avx2() {
+        // SAFETY: use_avx2() is true only when runtime detection proved
+        // AVX2 support.
+        unsafe { avx2::bs_tile_full(ranges, sub, panel, acc) };
+        return;
+    }
+    bs_tile_full_scalar(ranges, sub, panel, acc);
+}
+
+/// Portable body of [`bs_tile_full`].
+fn bs_tile_full_scalar(
+    ranges: &[(usize, usize)],
+    sub: &[f32],
+    panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
     let mut c0 = [0.0f32; NR];
     let mut c1 = [0.0f32; NR];
     let mut c2 = [0.0f32; NR];
@@ -912,6 +957,137 @@ fn bs_tile_tail(
             }
             q += 1;
         }
+    }
+}
+
+/// Explicit AVX2 twins of the steady-state tile kernels.
+///
+/// With `NR == 8`, one `[f32; NR]` accumulator row is exactly one
+/// `__m256`, so the scalar update `c[j] += a * bv[j]` (independent
+/// per-lane multiply, then per-lane add) maps 1:1 onto
+/// `_mm256_add_ps(c, _mm256_mul_ps(broadcast(a), bv))` — the **same two
+/// IEEE-754 roundings per lane in the same order**, which is why these
+/// kernels are bitwise identical to the scalar bodies and every
+/// existing bitwise gate keeps pinning them. `_mm256_fmadd_ps` is
+/// deliberately **not** used: a fused multiply-add performs a single
+/// rounding and would change low bits. The zero-skip guard stays a
+/// scalar test per `(p, row)` outside the vector ops, preserving the
+/// contract that a zero left entry contributes no arithmetic (the
+/// NaN-poison tests in `gemm_properties` cover this on both paths).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{MR, NR};
+    use std::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    // One accumulator row == one 256-bit vector; the kernels below
+    // assume it.
+    const _: () = assert!(NR == 8);
+    const _: () = assert!(MR == 4);
+
+    /// AVX2 body of [`super::microkernel_full`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (callers gate on
+    /// [`crate::simd::use_avx2`]). Slice invariants are the same as the
+    /// scalar kernel: `r0..r3` all have length `k == panel.len() / NR`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn microkernel_full(
+        r0: &[f32],
+        r1: &[f32],
+        r2: &[f32],
+        r3: &[f32],
+        panel: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        let k = r0.len();
+        debug_assert!(r1.len() == k && r2.len() == k && r3.len() == k);
+        debug_assert!(panel.len() == k * NR);
+        let mut c0 = _mm256_setzero_ps();
+        let mut c1 = _mm256_setzero_ps();
+        let mut c2 = _mm256_setzero_ps();
+        let mut c3 = _mm256_setzero_ps();
+        let pb = panel.as_ptr();
+        for p in 0..k {
+            let bv = _mm256_loadu_ps(pb.add(p * NR));
+            let a0 = *r0.get_unchecked(p);
+            let a1 = *r1.get_unchecked(p);
+            let a2 = *r2.get_unchecked(p);
+            let a3 = *r3.get_unchecked(p);
+            if a0 != 0.0 {
+                c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_set1_ps(a0), bv));
+            }
+            if a1 != 0.0 {
+                c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_set1_ps(a1), bv));
+            }
+            if a2 != 0.0 {
+                c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_set1_ps(a2), bv));
+            }
+            if a3 != 0.0 {
+                c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_set1_ps(a3), bv));
+            }
+        }
+        store_acc(acc, c0, c1, c2, c3);
+    }
+
+    /// AVX2 body of [`super::bs_tile_full`]: same vector update, walking
+    /// only the enabled `k` ranges with the packed `MR`-wide sub-panel.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2; slice invariants are the scalar
+    /// kernel's (`sub` holds `MR` values per enabled `p`, `panel` holds
+    /// `NR` per `p`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn bs_tile_full(
+        ranges: &[(usize, usize)],
+        sub: &[f32],
+        panel: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        let mut c0 = _mm256_setzero_ps();
+        let mut c1 = _mm256_setzero_ps();
+        let mut c2 = _mm256_setzero_ps();
+        let mut c3 = _mm256_setzero_ps();
+        let pb = panel.as_ptr();
+        let sb = sub.as_ptr();
+        let mut q = 0usize;
+        for &(p0, p1) in ranges {
+            for p in p0..p1 {
+                debug_assert!((q + 1) * MR <= sub.len() && (p + 1) * NR <= panel.len());
+                let bv = _mm256_loadu_ps(pb.add(p * NR));
+                let av = sb.add(q * MR);
+                let a0 = *av;
+                let a1 = *av.add(1);
+                let a2 = *av.add(2);
+                let a3 = *av.add(3);
+                if a0 != 0.0 {
+                    c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_set1_ps(a0), bv));
+                }
+                if a1 != 0.0 {
+                    c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_set1_ps(a1), bv));
+                }
+                if a2 != 0.0 {
+                    c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_set1_ps(a2), bv));
+                }
+                if a3 != 0.0 {
+                    c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_set1_ps(a3), bv));
+                }
+                q += 1;
+            }
+        }
+        store_acc(acc, c0, c1, c2, c3);
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_acc(acc: &mut [[f32; NR]; MR], c0: __m256, c1: __m256, c2: __m256, c3: __m256) {
+        _mm256_storeu_ps(acc[0].as_mut_ptr(), c0);
+        _mm256_storeu_ps(acc[1].as_mut_ptr(), c1);
+        _mm256_storeu_ps(acc[2].as_mut_ptr(), c2);
+        _mm256_storeu_ps(acc[3].as_mut_ptr(), c3);
     }
 }
 

@@ -38,9 +38,10 @@ pub mod gemm;
 pub mod parallel;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
-pub use fixed::{Fixed16, FixedTensor};
+pub use fixed::{div_round_nearest, Fixed16, FixedTensor};
 pub use gemm::{gemm_bs_into, gemm_into, gemm_nt_into, BlockPattern, BlockSparseWeights};
 pub use rng::TensorRng;
 pub use shape::Shape;

@@ -157,3 +157,142 @@ fn scale_constant_consistent() {
     assert_eq!(Fixed16::ONE.to_bits(), 1 << FRAC_BITS);
     assert_eq!(FixedTensor::half_ulp(), 0.5 / SCALE);
 }
+
+// ---------------------------------------------------------------------------
+// Rounding-contract suite: every Q7.8 rescale point in the workspace
+// promises the same rule — round to nearest, ties toward +infinity
+// (add half, then floor) — expressed once by `div_round_nearest` and
+// audited here against each implementation site.
+//
+// Audit map:
+//   * `MacAccumulator::finish`       -> `(acc + 128) >> 8`, clamp
+//   * `Fixed16::saturating_mul`      -> same shift rule on the i32 product
+//   * sim conv engines (cycle + functional) -> same rule per output word
+//     (pinned transitively: both quantise via finish / the identical
+//     expression, and `conv_differential` pins them against each other)
+//   * `PostProcessor::global_avg_pool` -> `div_round_nearest(sum, vol)`
+//     (the truncation bug this suite was added alongside)
+//   * `Fixed16::from_f32`            -> f32 `.round()`, which is ties
+//     away from zero — a DIFFERENT tie rule, pinned below as documented
+//     behaviour so any silent change trips a test.
+// ---------------------------------------------------------------------------
+
+use p3d_tensor::div_round_nearest;
+
+proptest! {
+    /// `finish` is exactly `div_round_nearest(acc, 256)` + clamp: the
+    /// shift-based rescale and the general division agree everywhere,
+    /// including every negative value and both ties.
+    #[test]
+    fn finish_is_div_round_nearest_by_scale(acc in -(1i64 << 34)..(1i64 << 34)) {
+        let via_shift = round_clamp_q78(acc) as i64;
+        let via_div = div_round_nearest(acc, 1 << FRAC_BITS)
+            .clamp(i16::MIN as i64, i16::MAX as i64);
+        prop_assert_eq!(via_shift, via_div);
+    }
+
+    /// `saturating_mul` equals a one-product MAC followed by `finish`:
+    /// the two rescale sites share one rounding rule bit-for-bit, at
+    /// every operand pair including all four rail combinations.
+    #[test]
+    fn mul_equals_single_mac_finish(a in bits_strategy(), b in bits_strategy()) {
+        let mul = (Fixed16::from_bits(a) * Fixed16::from_bits(b)).to_bits();
+        let mut acc = MacAccumulator::new();
+        acc.mac(Fixed16::from_bits(a), Fixed16::from_bits(b));
+        prop_assert_eq!(mul, acc.finish().to_bits());
+    }
+
+    /// The rounded result is the nearest representable value: for any
+    /// wide sum, `|256 * finish(acc) - acc| <= 128`, with equality only
+    /// on the tie (rounded up). This is the "no low bias" guarantee the
+    /// truncating avg-pool violated before the fix.
+    #[test]
+    fn finish_result_is_nearest(acc in -(1i64 << 22)..(1i64 << 22)) {
+        let r = round_clamp_q78(acc) as i64;
+        // Stay below the rails so clamping can't mask distance.
+        prop_assume!(r > i16::MIN as i64 && r < i16::MAX as i64);
+        let dist = (r * (1 << FRAC_BITS) - acc).abs();
+        prop_assert!(dist <= 1 << (FRAC_BITS - 1));
+        if dist == 1 << (FRAC_BITS - 1) {
+            // Tie: must have rounded toward +infinity.
+            prop_assert_eq!(r * (1 << FRAC_BITS) - acc, 1 << (FRAC_BITS - 1));
+        }
+    }
+
+    /// `div_round_nearest` generalises the contract to arbitrary
+    /// divisors (the avg-pool volume is rarely a power of two):
+    /// nearest result, tie toward +infinity, for every sign.
+    #[test]
+    fn div_round_nearest_is_nearest_with_positive_tie(
+        n in -(1i64 << 40)..(1i64 << 40),
+        d in 1i64..10_000,
+    ) {
+        let r = div_round_nearest(n, d);
+        let dist2 = 2 * (r * d - n); // twice the signed distance
+        prop_assert!(dist2.abs() <= d, "not nearest: n={} d={} r={}", n, d, r);
+        if dist2.abs() == d {
+            prop_assert_eq!(dist2, d, "tie rounded toward zero/-inf: n={} d={}", n, d);
+        }
+    }
+}
+
+/// `from_f32` non-finite handling and its tie rule, pinned as documented
+/// behaviour.
+///
+/// Unlike the integer rescale sites, `from_f32` uses f32 `.round()` —
+/// ties away from zero — because quantisation happens once at the f32
+/// boundary, not in the accumulation loop; a silent switch in either
+/// direction would shift every quantised parameter by an ULP on ties,
+/// so both the non-finite map and the tie rule are pinned exactly.
+#[test]
+fn from_f32_nonfinite_and_tie_contract() {
+    // Non-finite map: NaN -> zero (a poisoned activation must not rail),
+    // infinities -> the matching rail.
+    assert_eq!(Fixed16::from_f32(f32::NAN), Fixed16::ZERO);
+    assert_eq!(Fixed16::from_f32(-f32::NAN), Fixed16::ZERO);
+    assert_eq!(Fixed16::from_f32(f32::INFINITY), Fixed16::MAX);
+    assert_eq!(Fixed16::from_f32(f32::NEG_INFINITY), Fixed16::MIN);
+    // Subnormal and signed-zero inputs collapse to zero cleanly.
+    assert_eq!(Fixed16::from_f32(f32::MIN_POSITIVE / 2.0), Fixed16::ZERO);
+    assert_eq!(Fixed16::from_f32(-0.0), Fixed16::ZERO);
+    // The rails themselves: 127.998 (between MAX-ULP and MAX) rounds to
+    // MAX; one ULP past the negative rail saturates.
+    assert_eq!(Fixed16::from_f32(127.998), Fixed16::MAX);
+    assert_eq!(Fixed16::from_f32(-128.001), Fixed16::MIN);
+    // Tie rule: exactly representable half-ULP f32 inputs round away
+    // from zero — +1.5/256 -> 2 ULP, -1.5/256 -> -2 ULP. (The integer
+    // sites round ties toward +inf instead; -1.5 would floor to -2
+    // there too, but +0.5 ULP cases differ on the negative side:
+    // finish(-128) = 0 while from_f32(-0.5/256) = -1.)
+    assert_eq!(Fixed16::from_f32(1.5 / 256.0).to_bits(), 2);
+    assert_eq!(Fixed16::from_f32(-1.5 / 256.0).to_bits(), -2);
+    assert_eq!(Fixed16::from_f32(0.5 / 256.0).to_bits(), 1);
+    assert_eq!(Fixed16::from_f32(-0.5 / 256.0).to_bits(), -1);
+    // ...whereas the accumulator tie goes toward +inf on both signs.
+    assert_eq!(round_clamp_q78(128), 1);
+    assert_eq!(round_clamp_q78(-128), 0);
+}
+
+/// `saturating_mul` at the negative rail: the audit point from the
+/// issue. `(wide + 128) >> 8` on the most negative products must clamp
+/// to MIN without wrapping, and near-rail products must round correctly
+/// rather than truncate.
+#[test]
+fn saturating_mul_negative_rail_rounds_not_truncates() {
+    // MIN * MAX: wide = -32768 * 32767 = -1073709056;
+    // (wide + 128) >> 8 = -4194176 -> clamp MIN. No i32 overflow.
+    assert_eq!(Fixed16::MIN * Fixed16::MAX, Fixed16::MIN);
+    // A product of exactly -0.75 ULP wide: -192. Truncation toward zero
+    // would give 0; the contract rounds to nearest -> -1.
+    // -192 = (-3) * 64: a = -3 ULP, b = 0.25 (64 ULP).
+    let got = Fixed16::from_bits(-3) * Fixed16::from_bits(64);
+    assert_eq!(got.to_bits(), -1, "near-zero negative product truncated");
+    // And the positive mirror rounds up.
+    let got = Fixed16::from_bits(3) * Fixed16::from_bits(64);
+    assert_eq!(got.to_bits(), 1);
+    // One ULP above the negative rail stays representable (no clamp):
+    // -128.0 * 1.0 = MIN exactly... via bits: (-32768 * 256 + 128) >> 8
+    // = -32767.5 floor -> -32768 + tie-up = -32767? Compute: wide =
+    // -8388608; +128 -> -8388480; >>8 -> -32768. Exactly MIN, no clamp.
+    assert_eq!((Fixed16::MIN * Fixed16::ONE).to_bits(), i16::MIN);
+}

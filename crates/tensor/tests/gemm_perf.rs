@@ -79,3 +79,53 @@ fn packed_kernel_at_least_1_5x_naive_single_thread() {
     }
     set_thread_override(None);
 }
+
+/// Release perf gate for the explicit AVX2 microkernel: on an AVX2 host
+/// the packed kernel must beat its own forced-scalar fallback by ≥ 1.3x
+/// on the same shape, measured with the paired interleaved estimator
+/// (best per-rep back-to-back ratio, which cancels co-tenant noise).
+/// Skips (trivially passes) when the host lacks AVX2. Debug builds only
+/// check the bitwise identity of the two paths.
+#[test]
+fn avx2_kernel_at_least_1_3x_forced_scalar() {
+    use p3d_tensor::simd;
+
+    let (a, b) = operands();
+    let mut out_simd = vec![0.0f32; M * N];
+    let mut out_scalar = vec![0.0f32; M * N];
+    set_thread_override(Some(1));
+
+    // Bitwise identity in every build profile.
+    gemm_packed_into(&a, M, K, &b, N, &mut out_simd);
+    simd::force_scalar(true);
+    gemm_packed_into(&a, M, K, &b, N, &mut out_scalar);
+    simd::force_scalar(false);
+    let sb: Vec<u32> = out_simd.iter().map(|x| x.to_bits()).collect();
+    let cb: Vec<u32> = out_scalar.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(sb, cb, "AVX2 path diverged from forced scalar");
+
+    #[cfg(not(debug_assertions))]
+    if simd::detected() == simd::SimdLevel::Avx2 {
+        // Paired interleaved: per rep, time scalar then AVX2 back to
+        // back and take the best ratio across reps.
+        let mut best = 0.0f64;
+        for _ in 0..7 {
+            simd::force_scalar(true);
+            let t0 = std::time::Instant::now();
+            gemm_packed_into(&a, M, K, &b, N, &mut out_scalar);
+            let t_scalar = t0.elapsed().as_secs_f64();
+            simd::force_scalar(false);
+            let t1 = std::time::Instant::now();
+            gemm_packed_into(&a, M, K, &b, N, &mut out_simd);
+            let t_simd = t1.elapsed().as_secs_f64();
+            best = best.max(t_scalar / t_simd.max(1e-12));
+        }
+        assert!(
+            best >= 1.3,
+            "AVX2 microkernel only {best:.2}x forced scalar on {M}x{K}x{N} \
+             (features: {})",
+            simd::cpu_features(),
+        );
+    }
+    set_thread_override(None);
+}

@@ -221,3 +221,77 @@ proptest! {
         prop_assert_eq!(bits(&dense), bits(&sparse));
     }
 }
+
+/// AVX2-vs-scalar bitwise gate for the f32 kernels: runs the packed and
+/// block-sparse kernels once on the detected SIMD level and once with
+/// the scalar fallback explicitly forced, and demands bit-for-bit equal
+/// outputs. On an AVX2 host this pins the explicit-intrinsics kernels
+/// against the portable bodies; on a non-AVX2 host it degenerates to
+/// scalar-vs-scalar (still a valid, if vacuous, run).
+///
+/// Flipping `force_scalar` is process-wide, but safe to do concurrently
+/// with the other tests in this binary precisely because of the property
+/// under test: both paths produce identical bits, so which one a
+/// neighbouring test happens to take cannot change its result.
+#[test]
+fn avx2_and_forced_scalar_f32_kernels_bitwise_identical() {
+    use p3d_tensor::simd;
+
+    let (m, k, n) = (3 * MR + 1, 37, 2 * NR + 5);
+    let a = values(m * k, 0xa2c5_0001, 4); // exact zeros exercise zero-skip
+    let b = values(k * n, 0xa2c5_0002, 0);
+
+    // Dense packed kernel, both paths.
+    let mut out_simd = vec![f32::NAN; m * n];
+    let mut out_scalar = vec![f32::NAN; m * n];
+    gemm_packed_into(&a, m, k, &b, n, &mut out_simd);
+    simd::force_scalar(true);
+    let scalar_level = simd::active();
+    gemm_packed_into(&a, m, k, &b, n, &mut out_scalar);
+    simd::force_scalar(false);
+    assert_eq!(scalar_level.name(), "scalar");
+    assert_eq!(
+        bits(&out_simd),
+        bits(&out_scalar),
+        "packed kernel: {} path diverged from forced scalar",
+        simd::detected().name()
+    );
+
+    // Block-sparse kernel, both paths (ragged grid, mixed keep bitmap).
+    let (tm, tk) = (3usize, 5usize);
+    let brows = m.div_ceil(tm);
+    let bcols = k.div_ceil(tk);
+    let pattern = BlockPattern {
+        m,
+        k,
+        tm,
+        tk,
+        keep: (0..brows * bcols).map(|i| i % 3 != 1).collect(),
+    };
+    let mut am = a.clone();
+    for bi in 0..brows {
+        for bj in 0..bcols {
+            if pattern.keep[bi * bcols + bj] {
+                continue;
+            }
+            for r in bi * tm..((bi + 1) * tm).min(m) {
+                for c in bj * tk..((bj + 1) * tk).min(k) {
+                    am[r * k + c] = 0.0;
+                }
+            }
+        }
+    }
+    let w = BlockSparseWeights::compile(&am, &pattern);
+    let mut bs_simd = vec![f32::NAN; m * n];
+    let mut bs_scalar = vec![f32::NAN; m * n];
+    gemm_bs_into(&w, &b, n, &mut bs_simd);
+    simd::force_scalar(true);
+    gemm_bs_into(&w, &b, n, &mut bs_scalar);
+    simd::force_scalar(false);
+    assert_eq!(
+        bits(&bs_simd),
+        bits(&bs_scalar),
+        "block-sparse kernel: {} path diverged from forced scalar",
+        simd::detected().name()
+    );
+}

@@ -31,17 +31,21 @@ echo "==> kill-and-resume bitwise equivalence"
 cargo test -q -p p3d-core --test resume
 
 # The inference-engine merge requirements, named for the same reason:
-# the fixed-point datapath property suite, the Q7.8-vs-f32 golden
-# differential conv tests, inference determinism across thread counts,
-# and the zero-allocation steady-state contract. (The
-# BENCH_inference.json smoke emission rides in the p3d-bench unit
-# tests above; the batched-vs-sequential throughput gate is
-# `-p p3d-bench --test inference_speedup`, also part of
-# `cargo test --workspace`.)
-echo "==> fixed-point datapath properties"
+# the fixed-point datapath property suite (now including the Q7.8
+# rounding-contract audit: finish/saturating_mul/avg-pool all implement
+# round-to-nearest, from_f32 non-finite policy), the Q7.8-vs-f32 golden
+# differential conv tests (now including the functional-vs-cycle engine
+# differential on random shapes/strides/pads/block masks and the
+# AVX2-vs-scalar integer bitwise gate at the i16 rails), inference
+# determinism across thread counts, and the zero-allocation
+# steady-state contract. (The BENCH_inference.json smoke emission rides
+# in the p3d-bench unit tests above; the batched-vs-sequential
+# throughput gate is `-p p3d-bench --test inference_speedup`, also part
+# of `cargo test --workspace`.)
+echo "==> fixed-point datapath properties + rounding contracts"
 cargo test -q -p p3d-tensor --test fixed_properties
 
-echo "==> Q7.8 simulator vs f32 conv golden differential"
+echo "==> conv differentials: Q7.8 vs f32, functional vs cycle, AVX2 vs scalar"
 cargo test -q -p p3d-fpga --test conv_differential
 
 echo "==> inference determinism under load"
@@ -60,7 +64,7 @@ cargo test -q -p p3d-infer --test zero_alloc
 # the packed microkernel is at least 1.5x the seeded naive kernel on a
 # fixed single-threaded shape; the sim-batching gate asserts the
 # batched sim backend never regresses below its own sequential loop.
-echo "==> packed GEMM + block-sparse property suite"
+echo "==> packed GEMM + block-sparse properties (incl. AVX2 f32 bitwise gate)"
 cargo test -q -p p3d-tensor --test gemm_properties
 
 echo "==> block-sparse network equivalence"
@@ -72,8 +76,17 @@ cargo test -q -p p3d-infer --test pruned_serving
 echo "==> inference speedup gates (f32 batched 1.1x, sim never below 1x)"
 cargo test -q -p p3d-bench --test inference_speedup
 
-echo "==> packed microkernel perf smoke gate (release)"
+echo "==> packed microkernel perf smoke gates (release: 1.5x naive, AVX2 1.3x scalar)"
 cargo test -q --release -p p3d-tensor --test gemm_perf
+
+# The fast-functional-sim merge requirement: the functional Q7.8 engine
+# (flat i64 accumulation + AVX2 integer kernels) must stay bitwise
+# identical to the cycle-approximate engine end to end — logits,
+# prediction, full ConvStats — and, in release, serve at least 3x its
+# per-clip throughput (paired interleaved estimator, so co-tenant noise
+# can only lower the measured ratio).
+echo "==> functional sim-path bitwise identity + 3x speedup gate (release)"
+cargo test -q --release -p p3d-bench --test sim_fast_speedup
 
 # The persistent-pool merge requirements: the pool acceptance suite
 # (bitwise-identical outputs across worker counts for all six parallel

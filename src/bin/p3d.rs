@@ -37,6 +37,7 @@ use p3d::pruning::{
     KeepRule, PrunedModel, RETRAIN_PROGRESS_KEY,
 };
 use p3d::tensor::parallel::{max_threads, set_thread_override};
+use p3d::tensor::simd;
 use p3d::video_data::{GeneratorConfig, SyntheticVideo};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -365,8 +366,10 @@ const INFER_USAGE: &str = "usage: p3d infer --ckpt model.ckpt [--model lite|lite
 
 Streams synthetic test clips through the batched inference engine and
 reports throughput (clips/s), latency percentiles (p50/p95/p99), and
-accuracy for the f32 network and/or the Q7.8 accelerator simulator.
---json additionally writes the report as a JSON document.
+accuracy for the f32 network and/or the Q7.8 accelerator simulator
+(served by the fast functional engine). The report — and the --json
+document — records the host's detected CPU features and the SIMD
+kernel path in use (avx2 or scalar) so numbers carry their provenance.
 
 Resilient serving (--resilient, implied by the flags below): requests
 pass input validation and a bounded admission queue (--capacity),
@@ -536,6 +539,18 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     } else {
         max_threads().min(batch).max(1)
     };
+    // Provenance: which SIMD path the GEMM microkernel and the Q7.8
+    // functional engine dispatch to on this host.
+    let feats = {
+        let f = simd::cpu_features();
+        if f.is_empty() {
+            "none"
+        } else {
+            f
+        }
+    };
+    let kernel_path = simd::active().name();
+    println!("host: cpu features {feats} | kernel path {kernel_path}");
 
     if resilient {
         // Resilient serving: one supervised stream. `sim` and `both`
@@ -624,7 +639,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
         );
         if !json_path.is_empty() {
             let json = format!(
-                "{{\n  \"model\": \"{model}\",\n  \"clips\": {},\n  \"batch\": {batch},\n  \"results\": [\n{}\n  ]\n}}\n",
+                "{{\n  \"model\": \"{model}\",\n  \"clips\": {},\n  \"batch\": {batch},\n  \"cpu_features\": \"{feats}\",\n  \"kernel_path\": \"{kernel_path}\",\n  \"results\": [\n{}\n  ]\n}}\n",
                 labels.len(),
                 resilient_json_row(name, &run, accuracy)
             );
@@ -689,7 +704,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     }
     if !json_path.is_empty() {
         let json = format!(
-            "{{\n  \"model\": \"{model}\",\n  \"clips\": {},\n  \"batch\": {batch},\n  \"results\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"model\": \"{model}\",\n  \"clips\": {},\n  \"batch\": {batch},\n  \"cpu_features\": \"{feats}\",\n  \"kernel_path\": \"{kernel_path}\",\n  \"results\": [\n{}\n  ]\n}}\n",
             labels.len(),
             json_rows.join(",\n")
         );
