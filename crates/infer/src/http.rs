@@ -1,0 +1,797 @@
+//! The HTTP/1.1 network front door over [`ResilientServer`].
+//!
+//! Everything the serving stack learned in-process — bounded admission,
+//! deadlines, retries, quarantine, graceful degradation, the
+//! [`ErrorBudget`] — stays exactly as it was; this module only puts a
+//! wire protocol in front of it:
+//!
+//! * **Thread-per-connection, std only.** An accept thread hands each
+//!   connection to its own handler thread; the engines already own the
+//!   process-wide worker pool, so connection handlers stay synchronous
+//!   and the parallelism lives where it always did.
+//! * **One dispatcher, real batches.** Handlers submit into the shared
+//!   [`ResilientServer`] queue and park on a per-request channel; a
+//!   single engine thread drains the queue in rounds, so concurrent
+//!   clients are batched together and outputs stay bitwise identical
+//!   to an in-process run (each clip is still computed in full by one
+//!   worker and collected by index).
+//! * **Multi-tenant fairness.** Each client (the `X-P3D-Client`
+//!   header) owns a [`TokenBucket`]; an empty bucket sheds the request
+//!   as HTTP 429 *before* it can occupy queue capacity, and the shed is
+//!   counted in the budget (`rate_limited`), so one greedy client
+//!   cannot starve the rest and `ErrorBudget::balanced` still holds.
+//!
+//! | endpoint          | behaviour                                        |
+//! |-------------------|--------------------------------------------------|
+//! | `POST /v1/infer`  | raw planar f32 / Q7.8 clip in, JSON result + provenance out |
+//! | `GET /stats`      | live aggregate budget, per-client counters, pool/engine telemetry |
+//! | `GET /healthz`    | `200 ok` while the server accepts work           |
+
+use crate::chaos::FaultPlan;
+use crate::engine::InferenceEngine;
+use crate::json::{self, Obj};
+use crate::resilience::{InferError, Request, ResilientServer, Response, ServerConfig};
+use crate::stats::ErrorBudget;
+use crate::wire::{self, read_request, write_response, HttpRequest, WireLimits, CLIENT_HEADER};
+use p3d_tensor::parallel::pool_stats;
+use p3d_tensor::simd;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A token bucket: capacity `burst`, refilled at `rate` tokens per
+/// second, pure over an externally supplied elapsed time so the refill
+/// arithmetic is testable without a clock.
+#[derive(Clone, Copy, Debug)]
+pub struct TokenBucket {
+    tokens: f64,
+    rate: f64,
+    burst: f64,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate` tokens/s, holding at most
+    /// `burst`. Negative inputs clamp to zero.
+    pub fn new(rate: f64, burst: f64) -> TokenBucket {
+        let burst = burst.max(0.0);
+        TokenBucket {
+            tokens: burst,
+            rate: rate.max(0.0),
+            burst,
+        }
+    }
+
+    /// Adds `elapsed_s * rate` tokens, clamped to the burst capacity.
+    /// Negative or non-finite elapsed times add nothing.
+    pub fn refill(&mut self, elapsed_s: f64) {
+        if elapsed_s.is_finite() && elapsed_s > 0.0 {
+            self.tokens = (self.tokens + elapsed_s * self.rate).min(self.burst);
+        }
+    }
+
+    /// Takes one token if available.
+    pub fn try_take(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// Per-client fairness accounting.
+struct ClientState {
+    bucket: TokenBucket,
+    last_refill: Instant,
+    admitted: u64,
+    rate_limited: u64,
+}
+
+/// Per-client token buckets keyed by the `X-P3D-Client` header.
+struct FairnessGate {
+    /// `None` disables rate limiting entirely.
+    rate: Option<(f64, f64)>,
+    clients: Mutex<HashMap<String, ClientState>>,
+}
+
+impl FairnessGate {
+    fn new(rate_per_s: f64, burst: f64) -> FairnessGate {
+        FairnessGate {
+            rate: (rate_per_s > 0.0).then_some((rate_per_s, burst.max(1.0))),
+            clients: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Refills the client's bucket for real elapsed time and tries to
+    /// take a token. New clients start with a full burst.
+    fn admit(&self, client: &str) -> bool {
+        let Some((rate, burst)) = self.rate else {
+            return true;
+        };
+        let now = Instant::now();
+        let mut clients = self.clients.lock().unwrap_or_else(|e| e.into_inner());
+        let state = clients.entry(client.to_string()).or_insert_with(|| ClientState {
+            bucket: TokenBucket::new(rate, burst),
+            last_refill: now,
+            admitted: 0,
+            rate_limited: 0,
+        });
+        state
+            .bucket
+            .refill(now.duration_since(state.last_refill).as_secs_f64());
+        state.last_refill = now;
+        if state.bucket.try_take() {
+            state.admitted += 1;
+            true
+        } else {
+            state.rate_limited += 1;
+            false
+        }
+    }
+
+    /// Sorted `(client, admitted, rate_limited)` rows for `/stats`.
+    fn snapshot(&self) -> Vec<(String, u64, u64)> {
+        let clients = self.clients.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<_> = clients
+            .iter()
+            .map(|(name, s)| (name.clone(), s.admitted, s.rate_limited))
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+/// Front-door configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` for an ephemeral port.
+    pub addr: String,
+    /// Resilience policy for the inner [`ResilientServer`].
+    pub server: ServerConfig,
+    /// Wire-level read caps.
+    pub limits: WireLimits,
+    /// Per-client admission rate, requests/second (`0.0` = unlimited).
+    pub rate_per_s: f64,
+    /// Per-client burst capacity (minimum 1 when rate limiting is on).
+    pub burst: f64,
+    /// Socket read timeout; an idle keep-alive connection is closed
+    /// after this long, and shutdown waits at most this long for
+    /// handler threads to notice the stop flag.
+    pub read_timeout: Duration,
+    /// Optional deterministic fault plan injected into the *primary*
+    /// engine's workers — chaos behind the wire, keyed by request
+    /// index exactly as in-process.
+    pub chaos: Option<FaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            server: ServerConfig::default(),
+            limits: WireLimits::default(),
+            rate_per_s: 0.0,
+            burst: 0.0,
+            read_timeout: Duration::from_secs(5),
+            chaos: None,
+        }
+    }
+}
+
+/// Point-in-time server telemetry, as served by `GET /stats`.
+#[derive(Clone, Debug, Default)]
+pub struct ServeSnapshot {
+    /// Aggregate error budget over everything resolved so far.
+    pub budget: ErrorBudget,
+    /// HTTP requests parsed (all endpoints, before any shedding).
+    pub http_requests: u64,
+    /// Requests answered 4xx/5xx at the wire boundary (malformed
+    /// framing; never reached admission).
+    pub wire_rejects: u64,
+    /// Engine batches dispatched.
+    pub batches: u64,
+    /// Per-client `(name, admitted, rate_limited)` rows.
+    pub clients: Vec<(String, u64, u64)>,
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+}
+
+/// What the engine dispatcher shares with connection handlers.
+struct Inner {
+    resilient: ResilientServer,
+    /// Response channels for admitted, not-yet-resolved requests.
+    waiters: HashMap<usize, mpsc::Sender<Response>>,
+    /// Submissions (admitted or not) since the last drain; the
+    /// dispatcher runs whenever this is non-zero, so early rejections
+    /// get their budget flushed promptly too.
+    pending_work: usize,
+    /// Budget accumulated across drain rounds + boundary shedding.
+    budget: ErrorBudget,
+    http_requests: u64,
+    wire_rejects: u64,
+    batches: u64,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    work: Condvar,
+    gate: FairnessGate,
+    stopping: AtomicBool,
+    started: Instant,
+    backend: String,
+    fallback: Option<String>,
+    expected_shape: Option<[usize; 4]>,
+    limits: WireLimits,
+    read_timeout: Duration,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServeSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        ServeSnapshot {
+            budget: inner.budget,
+            http_requests: inner.http_requests,
+            wire_rejects: inner.wire_rejects,
+            batches: inner.batches,
+            clients: self.gate.snapshot(),
+            uptime_s: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// A running HTTP serving front end.
+///
+/// Started with [`HttpServer::start`]; lives until
+/// [`HttpServer::shutdown`], which stops accepting, joins every
+/// thread the server spawned, and returns the final telemetry.
+pub struct HttpServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    engine_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `cfg.addr` and starts serving `primary` (with an optional
+    /// degradation `fallback`, exactly as in
+    /// [`ResilientServer::drain`]).
+    pub fn start(
+        cfg: ServeConfig,
+        primary: Box<dyn InferenceEngine + Send>,
+        fallback: Option<Box<dyn InferenceEngine + Send>>,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                resilient: ResilientServer::new(cfg.server.clone()),
+                waiters: HashMap::new(),
+                pending_work: 0,
+                budget: ErrorBudget::default(),
+                http_requests: 0,
+                wire_rejects: 0,
+                batches: 0,
+            }),
+            work: Condvar::new(),
+            gate: FairnessGate::new(cfg.rate_per_s, cfg.burst),
+            stopping: AtomicBool::new(false),
+            started: Instant::now(),
+            backend: primary.name().to_string(),
+            fallback: fallback.as_ref().map(|f| f.name().to_string()),
+            expected_shape: cfg.server.expected_shape,
+            limits: cfg.limits,
+            read_timeout: cfg.read_timeout,
+        });
+
+        let engine_thread = {
+            let shared = Arc::clone(&shared);
+            let chaos = cfg.chaos.clone();
+            std::thread::Builder::new()
+                .name("p3d-engine".to_string())
+                .spawn(move || engine_loop(&shared, primary, fallback, chaos.as_ref()))?
+        };
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("p3d-accept".to_string())
+                .spawn(move || accept_loop(&shared, listener))?
+        };
+
+        Ok(HttpServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            engine_thread: Some(engine_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current telemetry, as `GET /stats` reports it.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Stops accepting, waits for every spawned thread to exit, and
+    /// returns the final telemetry. In-flight requests resolve first;
+    /// lingering idle keep-alive connections are cut after at most the
+    /// configured read timeout.
+    pub fn shutdown(mut self) -> ServeSnapshot {
+        self.stop_and_join();
+        self.shared.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.work.notify_all();
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() || self.engine_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// The dispatcher: waits for submitted work, drains the resilient
+/// queue in rounds, and routes each [`Response`] to its parked
+/// connection handler. Early rejections (validation/overload) have no
+/// waiter — their responses were already answered at the boundary, and
+/// only their budget counters matter here.
+fn engine_loop(
+    shared: &Shared,
+    mut primary: Box<dyn InferenceEngine + Send>,
+    mut fallback: Option<Box<dyn InferenceEngine + Send>>,
+    chaos: Option<&FaultPlan>,
+) {
+    loop {
+        let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while inner.pending_work == 0 && !shared.stopping.load(Ordering::SeqCst) {
+            let (guard, _) = shared
+                .work
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+        if inner.pending_work == 0 && shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        inner.pending_work = 0;
+        // The drain runs under the lock: submitters block for the round
+        // and re-queue the moment it releases, which is what forms the
+        // next batch. Handlers park on their channels, not the lock.
+        let fb = fallback
+            .as_deref_mut()
+            .map(|f| f as &mut dyn InferenceEngine);
+        let run = inner.resilient.drain(primary.as_mut(), fb, chaos);
+        inner.budget.accumulate(&run.budget);
+        inner.batches += run.batches as u64;
+        let mut waiters = std::mem::take(&mut inner.waiters);
+        drop(inner);
+        for resp in run.responses {
+            if let Some(tx) = waiters.remove(&resp.index) {
+                let _ = tx.send(resp);
+            }
+        }
+        if !waiters.is_empty() {
+            // Requests submitted during the round stay parked for the
+            // next one.
+            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            for (k, v) in waiters {
+                inner.waiters.insert(k, v);
+            }
+        }
+    }
+}
+
+/// Accepts connections until shutdown, one handler thread each.
+/// Handler threads are detached: each one is bounded by the read
+/// timeout, and shutdown waits for the connection count to reach zero
+/// rather than holding join handles.
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let live = Arc::new(AtomicUsize::new(0));
+    for conn in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(shared);
+        let counter = Arc::clone(&live);
+        live.fetch_add(1, Ordering::SeqCst);
+        let spawned = std::thread::Builder::new()
+            .name("p3d-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(&shared, stream);
+                counter.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    // Handlers observe the stop flag within one read timeout; wait for
+    // them so shutdown() really means "no server threads remain".
+    let deadline = Instant::now() + shared.read_timeout + Duration::from_secs(2);
+    while live.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+use std::sync::atomic::AtomicUsize;
+
+/// Serves one connection: reads requests in a keep-alive loop until
+/// the peer closes, framing fails, or shutdown begins.
+fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(shared.read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let req = match read_request(&mut reader, &shared.limits) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // clean close between requests
+            Err(e) => {
+                {
+                    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    inner.wire_rejects += 1;
+                }
+                // A malformed request poisons the framing; answer when
+                // possible, always close.
+                if let Some((status, reason)) = e.status() {
+                    let body = Obj::new().str("error", &e.to_string()).build();
+                    let _ = write_response(
+                        &mut writer,
+                        status,
+                        reason,
+                        "application/json",
+                        body.as_bytes(),
+                        true,
+                    );
+                }
+                return Ok(());
+            }
+        };
+        {
+            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.http_requests += 1;
+        }
+        let keep_alive = req.keep_alive() && !shared.stopping.load(Ordering::SeqCst);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                let body: &[u8] = if shared.stopping.load(Ordering::SeqCst) {
+                    b"stopping\n"
+                } else {
+                    b"ok\n"
+                };
+                write_response(&mut writer, 200, "OK", "text/plain", body, !keep_alive)?;
+            }
+            ("GET", "/stats") => {
+                let body = stats_json(shared);
+                write_response(
+                    &mut writer,
+                    200,
+                    "OK",
+                    "application/json",
+                    body.as_bytes(),
+                    !keep_alive,
+                )?;
+            }
+            ("POST", "/v1/infer") => {
+                serve_infer(shared, &req, &mut writer, keep_alive)?;
+            }
+            (_, "/healthz" | "/stats") | ("GET" | "HEAD", "/v1/infer") => {
+                let body = Obj::new().str("error", "method not allowed").build();
+                write_response(
+                    &mut writer,
+                    405,
+                    "Method Not Allowed",
+                    "application/json",
+                    body.as_bytes(),
+                    !keep_alive,
+                )?;
+            }
+            _ => {
+                let body = Obj::new().str("error", "no such endpoint").build();
+                write_response(
+                    &mut writer,
+                    404,
+                    "Not Found",
+                    "application/json",
+                    body.as_bytes(),
+                    !keep_alive,
+                )?;
+            }
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Handles one `POST /v1/infer`: fairness gate, payload decode,
+/// submission, and the parked wait for the dispatcher's response.
+fn serve_infer(
+    shared: &Shared,
+    req: &HttpRequest,
+    writer: &mut impl Write,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let client = req.header(CLIENT_HEADER).unwrap_or("anonymous").to_string();
+
+    // Fairness first: a rate-limited request must not cost queue
+    // capacity (or decode work). The shed is budgeted so the aggregate
+    // stays balanced: submitted = ... + rate_limited.
+    if !shared.gate.admit(&client) {
+        {
+            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.budget.submitted += 1;
+            inner.budget.rate_limited += 1;
+        }
+        let body = Obj::new()
+            .str("error", "rate limited")
+            .str("client", &client)
+            .build();
+        return write_response(
+            writer,
+            429,
+            "Too Many Requests",
+            "application/json",
+            body.as_bytes(),
+            !keep_alive,
+        );
+    }
+
+    let clip = match wire::decode_clip(req) {
+        Ok(clip) => clip,
+        Err(e) => {
+            let (status, reason) = e.status().unwrap_or((400, "Bad Request"));
+            {
+                // A clip that never decoded still consumed a submission
+                // slot in the ledger, as an invalid one.
+                let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                inner.budget.submitted += 1;
+                inner.budget.rejected_invalid += 1;
+            }
+            let body = Obj::new().str("error", &e.to_string()).build();
+            return write_response(
+                writer,
+                status,
+                reason,
+                "application/json",
+                body.as_bytes(),
+                !keep_alive,
+            );
+        }
+    };
+
+    // Submit under the lock and park on a private channel.
+    let rx = {
+        let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.pending_work += 1;
+        match inner.resilient.submit(Request::new(clip)) {
+            Ok(index) => {
+                let (tx, rx) = mpsc::channel();
+                inner.waiters.insert(index, tx);
+                drop(inner);
+                shared.work.notify_all();
+                Ok(rx)
+            }
+            Err(e) => {
+                drop(inner);
+                // Flush the early rejection's budget counters promptly.
+                shared.work.notify_all();
+                Err(e)
+            }
+        }
+    };
+    let rx = match rx {
+        Ok(rx) => rx,
+        Err(e) => {
+            let (status, reason) = match &e {
+                InferError::Overloaded { .. } => (503, "Service Unavailable"),
+                _ => (400, "Bad Request"),
+            };
+            let body = Obj::new().str("error", &e.to_string()).build();
+            return write_response(
+                writer,
+                status,
+                reason,
+                "application/json",
+                body.as_bytes(),
+                !keep_alive,
+            );
+        }
+    };
+
+    // The dispatcher resolves every admitted request exactly once, so
+    // this wait ends (deadline expiry and quarantine are responses
+    // too). A dead dispatcher surfaces as a channel error.
+    let resp = match rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => {
+            let body = Obj::new().str("error", "server shutting down").build();
+            return write_response(
+                writer,
+                503,
+                "Service Unavailable",
+                "application/json",
+                body.as_bytes(),
+                true,
+            );
+        }
+    };
+    let (status, reason) = match &resp.outcome {
+        Ok(_) => (200, "OK"),
+        Err(InferError::DeadlineExpired) => (504, "Gateway Timeout"),
+        Err(InferError::Quarantined { .. }) => (500, "Internal Server Error"),
+        Err(InferError::Overloaded { .. }) => (503, "Service Unavailable"),
+        Err(_) => (400, "Bad Request"),
+    };
+    let feats = simd::cpu_features();
+    let body = json::response_json(
+        &resp,
+        simd::active().name(),
+        if feats.is_empty() { "none" } else { feats },
+    );
+    write_response(
+        writer,
+        status,
+        reason,
+        "application/json",
+        body.as_bytes(),
+        !keep_alive,
+    )
+}
+
+/// Renders the `GET /stats` document.
+fn stats_json(shared: &Shared) -> String {
+    let snap = shared.snapshot();
+    let pool = pool_stats();
+    let feats = simd::cpu_features();
+    let clients = snap
+        .clients
+        .iter()
+        .map(|(name, admitted, limited)| {
+            Obj::new()
+                .str("client", name)
+                .u64("admitted", *admitted)
+                .u64("rate_limited", *limited)
+                .build()
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let engine = Obj::new()
+        .str("backend", &shared.backend)
+        .str("fallback", shared.fallback.as_deref().unwrap_or("none"))
+        .str("kernel_path", simd::active().name())
+        .str("cpu_features", if feats.is_empty() { "none" } else { feats })
+        .raw(
+            "expected_shape",
+            &shared
+                .expected_shape
+                .map(|s| format!("[{}, {}, {}, {}]", s[0], s[1], s[2], s[3]))
+                .unwrap_or_else(|| "null".to_string()),
+        )
+        .build();
+    let pool = Obj::new()
+        .u64("spawned", pool.spawned as u64)
+        .u64("respawned", pool.respawned as u64)
+        .u64("live", pool.live as u64)
+        .build();
+    Obj::new()
+        .f64("uptime_s", snap.uptime_s, 3)
+        .u64("http_requests", snap.http_requests)
+        .u64("wire_rejects", snap.wire_rejects)
+        .u64("batches", snap.batches)
+        .raw("error_budget", &json::budget_json(&snap.budget))
+        .raw("engine", &engine)
+        .raw("pool", &pool)
+        .raw("clients", &format!("[{clients}]"))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_starts_full_and_burst_bounds_it() {
+        let mut b = TokenBucket::new(10.0, 3.0);
+        assert_eq!(b.tokens(), 3.0);
+        assert!(b.try_take() && b.try_take() && b.try_take());
+        assert!(!b.try_take(), "burst exhausted");
+        // A long idle period refills to the burst cap, not beyond.
+        b.refill(100.0);
+        assert_eq!(b.tokens(), 3.0);
+    }
+
+    #[test]
+    fn refill_is_proportional_and_clamped() {
+        let mut b = TokenBucket::new(2.0, 4.0);
+        for _ in 0..4 {
+            assert!(b.try_take());
+        }
+        assert!(!b.try_take());
+        b.refill(0.5); // 1 token
+        assert!(b.try_take());
+        assert!(!b.try_take());
+        // Degenerate inputs add nothing and never panic.
+        b.refill(-1.0);
+        b.refill(f64::NAN);
+        b.refill(f64::INFINITY);
+        assert_eq!(b.tokens(), 0.0);
+        b.refill(10.0); // clamps to burst
+        assert_eq!(b.tokens(), 4.0);
+    }
+
+    #[test]
+    fn zero_rate_bucket_admits_nothing_after_burst() {
+        let mut b = TokenBucket::new(0.0, 2.0);
+        assert!(b.try_take() && b.try_take());
+        b.refill(1e9);
+        assert!(!b.try_take(), "zero rate never refills");
+        // And a zero-burst bucket admits nothing at all.
+        let mut b = TokenBucket::new(5.0, 0.0);
+        assert!(!b.try_take());
+        b.refill(10.0);
+        assert!(!b.try_take());
+    }
+
+    #[test]
+    fn negative_parameters_clamp_to_zero() {
+        let mut b = TokenBucket::new(-3.0, -1.0);
+        assert_eq!(b.tokens(), 0.0);
+        b.refill(100.0);
+        assert!(!b.try_take());
+    }
+
+    #[test]
+    fn gate_isolates_clients() {
+        let gate = FairnessGate::new(1000.0, 2.0);
+        // Greedy burns its own burst; a fresh client still has one.
+        assert!(gate.admit("greedy"));
+        assert!(gate.admit("greedy"));
+        assert!(!gate.admit("greedy"), "third immediate take must shed");
+        assert!(gate.admit("modest"), "other clients are unaffected");
+        let rows = gate.snapshot();
+        assert_eq!(rows.len(), 2);
+        let greedy = rows.iter().find(|r| r.0 == "greedy").unwrap();
+        assert_eq!((greedy.1, greedy.2), (2, 1));
+        let modest = rows.iter().find(|r| r.0 == "modest").unwrap();
+        assert_eq!((modest.1, modest.2), (1, 0));
+    }
+
+    #[test]
+    fn disabled_gate_admits_everything() {
+        let gate = FairnessGate::new(0.0, 0.0);
+        for _ in 0..100 {
+            assert!(gate.admit("anyone"));
+        }
+        assert!(gate.snapshot().is_empty(), "no accounting when disabled");
+    }
+}

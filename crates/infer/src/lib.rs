@@ -28,6 +28,13 @@
 //! saturation anomalies — all exercised by the deterministic
 //! fault-injection harness in [`chaos`].
 //!
+//! The network front door is [`HttpServer`] ([`http`]): a std-only,
+//! thread-per-connection HTTP/1.1 server whose request framing
+//! ([`wire`]) validates every length against a cap before allocating,
+//! with per-client token-bucket fairness shedding excess load as
+//! HTTP 429. All report serialization — CLI `--json`, wire responses,
+//! `GET /stats` — shares one schema ([`json`]).
+//!
 //! # Example
 //!
 //! ```
@@ -56,17 +63,22 @@
 
 pub mod chaos;
 pub mod engine;
+pub mod http;
+pub mod json;
 pub mod resilience;
 pub mod scheduler;
 pub mod stats;
+pub mod wire;
 
 pub use chaos::{install_quiet_panic_hook, Fault, FaultMix, FaultPlan};
 pub use engine::{
     argmax, ClipResult, F32Engine, InferenceEngine, SimEngine, SlotCtx, SupervisedSlot,
     SupervisionReport, WorkerFault,
 };
+pub use http::{HttpServer, ServeConfig, ServeSnapshot, TokenBucket};
 pub use resilience::{
     validate_clip, InferError, Request, ResilientRun, ResilientServer, Response, ServerConfig,
 };
 pub use scheduler::{BatchScheduler, StreamRun};
 pub use stats::{percentile, ErrorBudget, LatencyStats};
+pub use wire::{HttpRequest, WireError, WireLimits};

@@ -17,6 +17,9 @@ pub struct ErrorBudget {
     pub shed_overload: u64,
     /// Requests rejected at submission by input validation.
     pub rejected_invalid: u64,
+    /// Requests shed at the network boundary because the client's
+    /// token bucket was empty (HTTP 429); never reached the queue.
+    pub rate_limited: u64,
     /// Admitted requests whose deadline expired before they ran; shed
     /// without computing.
     pub deadline_expired: u64,
@@ -45,8 +48,43 @@ impl ErrorBudget {
     /// `true` when every submitted request is accounted for exactly
     /// once by the admission and resolution partitions.
     pub fn balanced(&self) -> bool {
-        self.submitted == self.admitted + self.shed_overload + self.rejected_invalid
+        self.submitted
+            == self.admitted + self.shed_overload + self.rejected_invalid + self.rate_limited
             && self.admitted == self.completed + self.deadline_expired + self.quarantined
+    }
+
+    /// Adds every counter of `other` into `self`. A long-running server
+    /// drains in rounds; summing the per-round budgets keeps one
+    /// process-lifetime budget that stays balanced whenever each round's
+    /// budget was.
+    pub fn accumulate(&mut self, other: &ErrorBudget) {
+        self.submitted += other.submitted;
+        self.admitted += other.admitted;
+        self.shed_overload += other.shed_overload;
+        self.rejected_invalid += other.rejected_invalid;
+        self.rate_limited += other.rate_limited;
+        self.deadline_expired += other.deadline_expired;
+        self.deadline_missed += other.deadline_missed;
+        self.retries += other.retries;
+        self.worker_failures += other.worker_failures;
+        self.worker_restarts += other.worker_restarts;
+        self.quarantined += other.quarantined;
+        self.fallbacks += other.fallbacks;
+        self.sentinel_trips += other.sentinel_trips;
+        self.completed += other.completed;
+    }
+
+    /// A budget describing a plain (non-resilient) stream run in which
+    /// every one of `n` requests was admitted and completed — the
+    /// degenerate balanced budget, used so batch-mode reports share the
+    /// resilient report schema.
+    pub fn all_completed(n: u64) -> ErrorBudget {
+        ErrorBudget {
+            submitted: n,
+            admitted: n,
+            completed: n,
+            ..ErrorBudget::default()
+        }
     }
 }
 

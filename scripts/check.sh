@@ -115,4 +115,27 @@ cargo test -q -p p3d-infer --test chaos
 echo "==> serving-boundary validation + worker supervision"
 cargo test -q -p p3d-infer --lib
 
+# The HTTP front-door merge requirements, named for the same reason:
+# the wire-protocol fuzz suite (generated malformed traffic — truncated
+# heads, hostile Content-Length values, split TCP segments, pipelined
+# garbage, oversized bodies, header floods — must answer 4xx/5xx or
+# close cleanly, never panic or allocate past the configured caps) and
+# the loopback e2e suite (logits served over HTTP bitwise identical to
+# in-process inference on both backends, chaos behind the wire keeps
+# the error budget balanced, token buckets isolate greedy clients).
+# Both run under the dev profile: this is the debug-assertions pass for
+# the wire layer.
+echo "==> HTTP wire-protocol fuzz (debug assertions on)"
+cargo test -q -p p3d-infer --test http_fuzz
+
+echo "==> HTTP loopback e2e: bitwise determinism, chaos, fairness"
+cargo test -q -p p3d-infer --test http_e2e
+
+# Release-mode soak smoke: ten seconds of mixed valid + malformed load
+# against a live server, then shutdown must leave zero leaked threads
+# (process thread count back to the pre-server baseline) and a balanced
+# budget. Ignored by default so plain `cargo test` stays fast.
+echo "==> HTTP soak smoke (release, ~10 s)"
+cargo test -q --release -p p3d-infer --test http_soak -- --ignored
+
 echo "All checks passed."

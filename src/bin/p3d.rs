@@ -13,6 +13,10 @@
 //!              [--backend f32|sim|both] [--threads T] [--json FILE]
 //!              [--resilient] [--replicas R] [--capacity C]
 //!              [--deadline-ms D] [--retries N] [--chaos-seed S]
+//! p3d serve    --ckpt model.ckpt [--model ...] [--port P] [--backend f32|sim]
+//!              [--capacity C] [--deadline-ms D] [--retries N]
+//!              [--rate R] [--burst B] [--max-body BYTES]
+//!              [--max-requests N] [--duration-s S] [--threads T]
 //! p3d tables   (prints the paper-table summaries)
 //! ```
 //!
@@ -20,9 +24,11 @@
 //! `--seed`.
 
 use p3d::fpga::{AcceleratorConfig, Ports, QuantizedNetwork, Tiling};
+use p3d::infer::json::{backend_row, BackendReport};
 use p3d::infer::{
-    install_quiet_panic_hook, BatchScheduler, F32Engine, FaultMix, FaultPlan, Request,
-    ResilientRun, ResilientServer, ServerConfig, SimEngine, StreamRun,
+    install_quiet_panic_hook, BatchScheduler, ErrorBudget, F32Engine, FaultMix, FaultPlan,
+    HttpServer, InferenceEngine, Request, ResilientRun, ResilientServer, ServeConfig, ServerConfig,
+    SimEngine, StreamRun, WireLimits,
 };
 use p3d::models::{
     build_network, c3d_lite, r2plus1d_lite, r2plus1d_lite_wide, r2plus1d_micro, NetworkSpec,
@@ -380,53 +386,36 @@ deterministic fault mix (panics, stalls, bit flips, saturation storms)
 to exercise those paths; the report gains an error budget
 (shed/retry/quarantine/fallback counters), also emitted in --json.";
 
-/// One `backend: {...}` JSON fragment for `--json`.
+/// One `backend: {...}` JSON fragment for `--json`. Both the batch and
+/// resilient paths render through [`backend_row`], so the two modes
+/// emit one schema — batch mode carries the degenerate all-completed
+/// error budget rather than no budget at all.
 fn infer_json_row(backend: &str, run: &StreamRun, accuracy: f64) -> String {
-    let lat = run.latency_stats();
-    format!(
-        "    {{\"backend\": \"{backend}\", \"clips_per_s\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"accuracy\": {:.4}, \"batches\": {}}}",
-        run.clips_per_s(),
-        lat.p50_ms,
-        lat.p95_ms,
-        lat.p99_ms,
-        lat.mean_ms,
+    let row = backend_row(&BackendReport {
+        backend,
+        mode: "batch",
+        clips_per_s: run.clips_per_s(),
+        latency: run.latency_stats(),
         accuracy,
-        run.batches
-    )
+        batches: run.batches,
+        budget: ErrorBudget::all_completed(run.results.len() as u64),
+    });
+    format!("    {row}")
 }
 
 /// One `backend: {...}` JSON fragment for a resilient `--json` report,
 /// with the run's error budget embedded.
 fn resilient_json_row(backend: &str, run: &ResilientRun, accuracy: f64) -> String {
-    let lat = run.latency_stats();
-    let b = &run.budget;
-    let clips_per_s = b.completed as f64 / run.wall_s.max(1e-9);
-    format!(
-        "    {{\"backend\": \"{backend}\", \"mode\": \"resilient\", \"clips_per_s\": {clips_per_s:.2}, \
-\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"accuracy\": {accuracy:.4}, \
-\"batches\": {}, \"error_budget\": {{\"submitted\": {}, \"admitted\": {}, \"shed_overload\": {}, \
-\"rejected_invalid\": {}, \"deadline_expired\": {}, \"deadline_missed\": {}, \"retries\": {}, \
-\"worker_failures\": {}, \"worker_restarts\": {}, \"quarantined\": {}, \"fallbacks\": {}, \
-\"sentinel_trips\": {}, \"completed\": {}}}}}",
-        lat.p50_ms,
-        lat.p95_ms,
-        lat.p99_ms,
-        lat.mean_ms,
-        run.batches,
-        b.submitted,
-        b.admitted,
-        b.shed_overload,
-        b.rejected_invalid,
-        b.deadline_expired,
-        b.deadline_missed,
-        b.retries,
-        b.worker_failures,
-        b.worker_restarts,
-        b.quarantined,
-        b.fallbacks,
-        b.sentinel_trips,
-        b.completed,
-    )
+    let row = backend_row(&BackendReport {
+        backend,
+        mode: "resilient",
+        clips_per_s: run.budget.completed as f64 / run.wall_s.max(1e-9),
+        latency: run.latency_stats(),
+        accuracy,
+        batches: run.batches,
+        budget: run.budget,
+    });
+    format!("    {row}")
 }
 
 /// Hard sanity limits for `p3d infer` flags: values past these are
@@ -717,6 +706,195 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+const SERVE_USAGE: &str = "usage: p3d serve --ckpt model.ckpt [--model lite|lite-wide|micro|c3d-lite]
+                 [--port P] [--backend f32|sim] [--tm 8] [--tn 4] [--seed S]
+                 [--batch B] [--capacity C] [--deadline-ms D] [--retries N]
+                 [--rate R] [--burst B] [--max-body BYTES] [--threads T]
+                 [--max-requests N] [--duration-s S]
+
+Serves the inference engine over HTTP/1.1 on 127.0.0.1 (--port 0 picks
+an ephemeral port; the chosen address is printed as 'listening on
+ADDR'). Endpoints:
+
+  POST /v1/infer   raw planar clip in (Content-Type application/x-p3d-f32
+                   or application/x-p3d-q78, shape in X-P3D-Shape:
+                   C,D,H,W), JSON result out with latency_ms / backend /
+                   kernel_path / cpu_features / fell_back provenance
+  GET  /stats      live error budget, per-client admission counters,
+                   worker-pool and engine telemetry
+  GET  /healthz    liveness probe
+
+Requests flow through the same resilient pipeline as 'p3d infer
+--resilient': validation, bounded admission (--capacity), deadlines
+(--deadline-ms), supervised retry (--retries), and sim->f32 degradation
+when the backend is sim. --rate/--burst add per-client token-bucket
+fairness keyed on the X-P3D-Client header; empty buckets shed as HTTP
+429, counted in the error budget. --max-requests / --duration-s bound
+the run (0 = unbounded) and print a final report on exit.";
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.get("help", false)? {
+        println!("{SERVE_USAGE}");
+        return Ok(());
+    }
+    args.expect_known(
+        "serve",
+        &[
+            "help",
+            "model",
+            "ckpt",
+            "port",
+            "backend",
+            "tm",
+            "tn",
+            "seed",
+            "batch",
+            "threads",
+            "capacity",
+            "deadline-ms",
+            "retries",
+            "rate",
+            "burst",
+            "max-body",
+            "max-requests",
+            "duration-s",
+        ],
+    )?;
+    let model = args.get("model", "lite".to_string())?;
+    let spec = model_spec(&model)?;
+    let port: u16 = args.get("port", 8080)?;
+    let backend = args.get("backend", "sim".to_string())?;
+    let primary_is_sim = match backend.as_str() {
+        "sim" => true,
+        "f32" => false,
+        other => return Err(format!("unknown backend '{other}' (expected f32|sim)")),
+    };
+    let seed: u64 = args.get("seed", 42)?;
+    let tm: usize = args.get("tm", 8)?;
+    let tn: usize = args.get("tn", 4)?;
+    let batch: usize = args.get("batch", 8)?;
+    if batch == 0 || batch > MAX_BATCH {
+        return Err(format!("--batch {batch} out of range (1..={MAX_BATCH})"));
+    }
+    let threads: usize = args.get("threads", 0)?;
+    if threads > MAX_THREADS_FLAG {
+        return Err(format!(
+            "--threads {threads} is not plausible (max {MAX_THREADS_FLAG})"
+        ));
+    }
+    let capacity: usize = args.get("capacity", 1024)?;
+    if capacity == 0 {
+        return Err("--capacity must be positive".into());
+    }
+    let deadline_ms: u64 = args.get("deadline-ms", 0)?;
+    if deadline_ms > MAX_DEADLINE_MS {
+        return Err(format!(
+            "--deadline-ms {deadline_ms} is not plausible (max {MAX_DEADLINE_MS})"
+        ));
+    }
+    let retries: u32 = args.get("retries", 2)?;
+    if retries > MAX_RETRIES {
+        return Err(format!(
+            "--retries {retries} is not plausible (max {MAX_RETRIES})"
+        ));
+    }
+    let rate: f64 = args.get("rate", 0.0)?;
+    let burst: f64 = args.get("burst", 8.0)?;
+    if rate < 0.0 || burst < 0.0 {
+        return Err("--rate/--burst must be non-negative".into());
+    }
+    let max_body: usize = args.get("max-body", WireLimits::default().max_body_bytes)?;
+    let max_requests: u64 = args.get("max-requests", 0)?;
+    let duration_s: f64 = args.get("duration-s", 0.0)?;
+    let ckpt = args.required("ckpt")?;
+
+    if threads > 0 {
+        set_thread_override(Some(threads));
+    }
+    let mut net = load_into(&spec, &ckpt, seed)?;
+    let (c, d, h, w) = spec.input;
+    let replicas = max_threads().min(batch).max(1);
+    let make_f32 = |replicas: usize| {
+        let spec = spec.clone();
+        let ckpt = ckpt.clone();
+        F32Engine::new(replicas, move || {
+            load_into(&spec, &ckpt, seed).expect("checkpoint validated above")
+        })
+    };
+    let (primary, fallback): (
+        Box<dyn InferenceEngine + Send>,
+        Option<Box<dyn InferenceEngine + Send>>,
+    ) = if primary_is_sim {
+        let accel = AcceleratorConfig {
+            tiling: Tiling::new(tm, tn, 2, 8, 8),
+            ports: Ports::new(2, 2, 2),
+            freq_mhz: 150.0,
+            data_bits: 16,
+        };
+        let q = QuantizedNetwork::from_network(&spec, &mut net, accel);
+        (
+            Box::new(SimEngine::new(q, PrunedModel::dense())),
+            Some(Box::new(make_f32(replicas)) as Box<dyn InferenceEngine + Send>),
+        )
+    } else {
+        (Box::new(make_f32(replicas)), None)
+    };
+
+    let cfg = ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        server: ServerConfig {
+            capacity,
+            max_batch: batch,
+            expected_shape: Some([c, d, h, w]),
+            default_deadline: (deadline_ms > 0)
+                .then(|| std::time::Duration::from_millis(deadline_ms)),
+            max_retries: retries,
+            seed,
+            ..ServerConfig::default()
+        },
+        limits: WireLimits {
+            max_body_bytes: max_body,
+            ..WireLimits::default()
+        },
+        rate_per_s: rate,
+        burst,
+        ..ServeConfig::default()
+    };
+    let server = HttpServer::start(cfg, primary, fallback)
+        .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    println!("listening on {}", server.local_addr());
+
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        let snap = server.snapshot();
+        if max_requests > 0 && snap.http_requests >= max_requests {
+            break;
+        }
+        if duration_s > 0.0 && started.elapsed().as_secs_f64() >= duration_s {
+            break;
+        }
+    }
+    let snap = server.shutdown();
+    let b = &snap.budget;
+    println!(
+        "served {} http requests in {:.1} s: {} completed, {} rate limited, {} shed, {} invalid, {} wire rejects, {} batches",
+        snap.http_requests,
+        snap.uptime_s,
+        b.completed,
+        b.rate_limited,
+        b.shed_overload,
+        b.rejected_invalid,
+        snap.wire_rejects,
+        snap.batches,
+    );
+    println!("error budget balanced: {}", b.balanced());
+    if threads > 0 {
+        set_thread_override(None);
+    }
+    Ok(())
+}
+
 fn cmd_tables() -> Result<(), String> {
     println!("The table regeneration binaries live in the p3d-bench crate:\n");
     for (bin, what) in [
@@ -744,7 +922,9 @@ fn cmd_tables() -> Result<(), String> {
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        return Err("usage: p3d <train|eval|prune|simulate|infer|tables> [--flag value ...]".into());
+        return Err(
+            "usage: p3d <train|eval|prune|simulate|infer|serve|tables> [--flag value ...]".into(),
+        );
     };
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
@@ -753,6 +933,7 @@ fn run() -> Result<(), String> {
         "prune" => cmd_prune(&args),
         "simulate" => cmd_simulate(&args),
         "infer" => cmd_infer(&args),
+        "serve" => cmd_serve(&args),
         "tables" => cmd_tables(),
         other => Err(format!("unknown command '{other}'")),
     }

@@ -342,3 +342,167 @@ fn infer_resilient_chaos_reports_error_budget() {
     let _ = std::fs::remove_file(&ckpt);
     let _ = std::fs::remove_file(&json);
 }
+
+/// Regression for the `--json` schema drift: the batch path used to
+/// emit rows with no `mode` and no `error_budget` while the resilient
+/// path embedded both, so consumers needed two parsers. Both modes now
+/// render through one serializer and must carry the same keys — batch
+/// mode with the degenerate all-completed budget.
+#[test]
+fn infer_json_schema_is_identical_across_modes() {
+    let dir = std::env::temp_dir().join("p3d_cli_schema");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("micro.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let batch_json = dir.join("batch.json");
+    let resilient_json = dir.join("resilient.json");
+
+    let out = p3d()
+        .args([
+            "train", "--model", "micro", "--epochs", "1", "--clips", "20", "--seed", "9",
+            "--out", ckpt_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    for (mode_flags, path) in [
+        (&[][..], &batch_json),
+        (&["--resilient"][..], &resilient_json),
+    ] {
+        let out = p3d()
+            .args([
+                "infer", "--model", "micro", "--ckpt", ckpt_s, "--clips", "12", "--batch",
+                "4", "--backend", "f32", "--seed", "9", "--json", path.to_str().unwrap(),
+            ])
+            .args(mode_flags)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "infer {mode_flags:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let batch = std::fs::read_to_string(&batch_json).expect("batch json");
+    let resilient = std::fs::read_to_string(&resilient_json).expect("resilient json");
+    // One schema: every key present in one mode's row exists in the
+    // other's. (Schema stability — consumers parse both with one shape.)
+    for key in [
+        "backend", "mode", "clips_per_s", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+        "accuracy", "batches", "error_budget", "submitted", "admitted", "shed_overload",
+        "rejected_invalid", "rate_limited", "deadline_expired", "retries", "quarantined",
+        "fallbacks", "completed", "balanced",
+    ] {
+        let pat = format!("\"{key}\"");
+        assert!(batch.contains(&pat), "batch report lacks {key}: {batch}");
+        assert!(resilient.contains(&pat), "resilient report lacks {key}: {resilient}");
+    }
+    assert!(batch.contains("\"mode\": \"batch\""), "{batch}");
+    assert!(resilient.contains("\"mode\": \"resilient\""), "{resilient}");
+    // The batch-mode budget is the degenerate balanced one.
+    assert_eq!(json_u64(&batch, "submitted"), 6);
+    assert_eq!(json_u64(&batch, "completed"), 6);
+    assert!(batch.contains("\"balanced\": true"), "{batch}");
+
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&batch_json);
+    let _ = std::fs::remove_file(&resilient_json);
+}
+
+/// `p3d serve` end to end as a child process: binds an ephemeral port,
+/// answers /healthz, /stats, and a real zero-clip inference, exits on
+/// --max-requests, and reports a balanced budget on the way out.
+#[test]
+fn serve_answers_http_and_exits_with_balanced_budget() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = std::env::temp_dir().join("p3d_cli_serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("micro.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    let out = p3d()
+        .args([
+            "train", "--model", "micro", "--epochs", "1", "--clips", "20", "--seed", "9",
+            "--out", ckpt_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut child = p3d()
+        .args([
+            "serve", "--model", "micro", "--ckpt", ckpt_s, "--port", "0", "--backend",
+            "f32", "--seed", "9", "--max-requests", "3",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+
+    let request = |head: &str, body: &[u8]| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+        s.write_all(head.as_bytes()).unwrap();
+        s.write_all(body).unwrap();
+        s.flush().unwrap();
+        let mut reply = Vec::new();
+        let _ = s.read_to_end(&mut reply);
+        String::from_utf8_lossy(&reply).into_owned()
+    };
+
+    let health = request("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n", b"");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+
+    // A micro clip of zeros: [1, 6, 16, 16] little-endian f32.
+    let clip = vec![0u8; 6 * 16 * 16 * 4];
+    let infer = request(
+        &format!(
+            "POST /v1/infer HTTP/1.1\r\nConnection: close\r\n\
+             Content-Type: application/x-p3d-f32\r\nX-P3D-Shape: 1,6,16,16\r\n\
+             Content-Length: {}\r\n\r\n",
+            clip.len()
+        ),
+        &clip,
+    );
+    assert!(infer.starts_with("HTTP/1.1 200"), "{infer}");
+    for key in ["prediction", "logits_bits", "kernel_path", "latency_ms"] {
+        assert!(infer.contains(&format!("\"{key}\"")), "response lacks {key}: {infer}");
+    }
+
+    let stats = request("GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n", b"");
+    assert!(stats.starts_with("HTTP/1.1 200"), "{stats}");
+    assert!(stats.contains("\"error_budget\""), "{stats}");
+
+    // Third request trips --max-requests; the server exits on its own.
+    let status = child.wait().expect("serve exit");
+    assert!(status.success(), "serve exited nonzero");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.contains("error budget balanced: true"),
+        "final report: {rest}"
+    );
+    assert!(rest.contains("served 3 http requests"), "final report: {rest}");
+
+    let _ = std::fs::remove_file(&ckpt);
+}

@@ -1,0 +1,309 @@
+#![warn(missing_docs)]
+//! Offline mini-implementation of the `httparse` request-parsing API
+//! surface used by the workspace's HTTP serving layer.
+//!
+//! Supported: [`Request::parse`] over an incrementally filled buffer,
+//! returning [`Status::Partial`] until the full head (request line +
+//! headers + blank line) is present, [`EMPTY_HEADER`] header slots, and
+//! typed [`Error`]s for malformed input.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **Requests only.** No response parsing, no chunked-extension
+//!   helpers — the serving layer frames bodies by `Content-Length`.
+//! * **Strict CRLF.** Lines end with `\r\n`; a bare `\n` is a parse
+//!   error rather than a tolerated variant.
+//! * **No unsafe, no SIMD.** Byte-at-a-time scanning; the caller caps
+//!   head size long before parser throughput matters.
+
+/// A parsed header: a name and its raw value bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header<'b> {
+    /// Header name as it appeared (case preserved).
+    pub name: &'b str,
+    /// Raw value bytes, surrounding ASCII whitespace trimmed.
+    pub value: &'b [u8],
+}
+
+/// An empty header slot, for building the caller-owned header array.
+pub const EMPTY_HEADER: Header<'static> = Header { name: "", value: b"" };
+
+/// Parse outcome: either the head is complete (with its byte length,
+/// body follows at that offset) or more input is needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status<T> {
+    /// The request head is complete; the payload is the head's length.
+    Complete(T),
+    /// The buffer ends before the head does; read more and re-parse.
+    Partial,
+}
+
+impl<T> Status<T> {
+    /// `true` for [`Status::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Status::Complete(_))
+    }
+}
+
+/// A malformed request head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The request line or a header line contains a byte that is not
+    /// allowed there (control bytes, missing separators, bare `\n`).
+    Token,
+    /// The `HTTP/1.x` version tag is malformed or unsupported.
+    Version,
+    /// A header line has no `:` separator.
+    HeaderName,
+    /// More headers than the caller provided slots for.
+    TooManyHeaders,
+    /// A line ended with a lone `\r` not followed by `\n`.
+    NewLine,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            Error::Token => "invalid token",
+            Error::Version => "invalid HTTP version",
+            Error::HeaderName => "invalid header name",
+            Error::TooManyHeaders => "too many headers",
+            Error::NewLine => "invalid line ending",
+        };
+        write!(f, "{what}")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Shorthand for parse results.
+pub type Result<T> = std::result::Result<Status<T>, Error>;
+
+/// A request head being parsed into caller-owned storage.
+///
+/// ```
+/// let mut headers = [httparse::EMPTY_HEADER; 8];
+/// let mut req = httparse::Request::new(&mut headers);
+/// let buf = b"POST /v1/infer HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+/// let status = req.parse(buf).unwrap();
+/// assert_eq!(status, httparse::Status::Complete(buf.len() - 4));
+/// assert_eq!(req.method, Some("POST"));
+/// assert_eq!(req.path, Some("/v1/infer"));
+/// assert_eq!(req.version, Some(1));
+/// assert_eq!(req.headers[0].name, "Content-Length");
+/// ```
+#[derive(Debug)]
+pub struct Request<'h, 'b> {
+    /// Request method (`GET`, `POST`, ...), set on completion.
+    pub method: Option<&'b str>,
+    /// Request target, set on completion.
+    pub path: Option<&'b str>,
+    /// Minor HTTP version: `0` for HTTP/1.0, `1` for HTTP/1.1.
+    pub version: Option<u8>,
+    /// Parsed headers; on completion, the used prefix of the slots the
+    /// caller passed to [`Request::new`].
+    pub headers: &'h mut [Header<'b>],
+}
+
+/// `true` for bytes legal in an RFC 7230 token (methods, header names).
+fn is_token_byte(b: u8) -> bool {
+    matches!(b,
+        b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9'
+        | b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-'
+        | b'.' | b'^' | b'_' | b'`' | b'|' | b'~')
+}
+
+/// `true` for bytes legal in a request target (no whitespace/controls).
+fn is_target_byte(b: u8) -> bool {
+    (0x21..=0x7e).contains(&b)
+}
+
+/// Takes one CRLF-terminated line out of `buf` starting at `at`.
+/// Returns the line (without CRLF) and the offset just past it.
+fn take_line(buf: &[u8], at: usize) -> Result<(&[u8], usize)> {
+    let mut i = at;
+    while i < buf.len() {
+        match buf[i] {
+            b'\r' => {
+                return match buf.get(i + 1) {
+                    Some(b'\n') => Ok(Status::Complete((&buf[at..i], i + 2))),
+                    Some(_) => Err(Error::NewLine),
+                    None => Ok(Status::Partial),
+                };
+            }
+            // A bare LF (or a NUL) never appears in a well-formed head.
+            b'\n' | 0 => return Err(Error::Token),
+            _ => i += 1,
+        }
+    }
+    Ok(Status::Partial)
+}
+
+impl<'h, 'b> Request<'h, 'b> {
+    /// A request that will parse into `headers`.
+    pub fn new(headers: &'h mut [Header<'b>]) -> Request<'h, 'b> {
+        Request {
+            method: None,
+            path: None,
+            version: None,
+            headers,
+        }
+    }
+
+    /// Parses a request head from `buf`.
+    ///
+    /// Returns [`Status::Complete`] with the head's byte length (the
+    /// body, if any, starts at that offset), [`Status::Partial`] when
+    /// `buf` ends before the blank line, or an [`Error`] as soon as the
+    /// prefix present is malformed — more input cannot fix it.
+    pub fn parse(&mut self, buf: &'b [u8]) -> Result<usize> {
+        // ---- request line: METHOD SP TARGET SP HTTP/1.x ------------
+        let (line, mut at) = match take_line(buf, 0)? {
+            Status::Complete(v) => v,
+            Status::Partial => {
+                // Reject hopeless prefixes early: the method token and
+                // its trailing space must be clean even in a fragment.
+                let bad = buf
+                    .iter()
+                    .take_while(|&&b| b != b' ')
+                    .any(|&b| !is_token_byte(b));
+                return if bad { Err(Error::Token) } else { Ok(Status::Partial) };
+            }
+        };
+        let line_str = std::str::from_utf8(line).map_err(|_| Error::Token)?;
+        let mut parts = line_str.splitn(3, ' ');
+        let method = parts.next().unwrap_or("");
+        let target = parts.next().ok_or(Error::Token)?;
+        let version = parts.next().ok_or(Error::Version)?;
+        if method.is_empty() || !method.bytes().all(is_token_byte) {
+            return Err(Error::Token);
+        }
+        if target.is_empty() || !target.bytes().all(is_target_byte) {
+            return Err(Error::Token);
+        }
+        let minor = match version {
+            "HTTP/1.0" => 0,
+            "HTTP/1.1" => 1,
+            _ => return Err(Error::Version),
+        };
+
+        // ---- header lines until the blank line ---------------------
+        let mut used = 0usize;
+        loop {
+            let (line, next) = match take_line(buf, at)? {
+                Status::Complete(v) => v,
+                Status::Partial => return Ok(Status::Partial),
+            };
+            at = next;
+            if line.is_empty() {
+                break; // blank line: head complete
+            }
+            let colon = line
+                .iter()
+                .position(|&b| b == b':')
+                .ok_or(Error::HeaderName)?;
+            let name_bytes = &line[..colon];
+            if name_bytes.is_empty() || !name_bytes.iter().all(|&b| is_token_byte(b)) {
+                return Err(Error::HeaderName);
+            }
+            let name = std::str::from_utf8(name_bytes).map_err(|_| Error::HeaderName)?;
+            let mut value = &line[colon + 1..];
+            while let [b' ' | b'\t', rest @ ..] = value {
+                value = rest;
+            }
+            while let [rest @ .., b' ' | b'\t'] = value {
+                value = rest;
+            }
+            if value.iter().any(|&b| b < 0x20 && b != b'\t') {
+                return Err(Error::Token);
+            }
+            if used == self.headers.len() {
+                return Err(Error::TooManyHeaders);
+            }
+            self.headers[used] = Header { name, value };
+            used += 1;
+        }
+
+        self.method = Some(method);
+        self.path = Some(target);
+        self.version = Some(minor);
+        // Shrink the header view to the used prefix, like the real crate.
+        let headers = std::mem::take(&mut self.headers);
+        self.headers = &mut headers[..used];
+        Ok(Status::Complete(at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(buf: &[u8]) -> (usize, Vec<(String, Vec<u8>)>) {
+        let mut slots = [EMPTY_HEADER; 16];
+        let mut req = Request::new(&mut slots);
+        match req.parse(buf).expect("parse") {
+            Status::Complete(n) => (
+                n,
+                req.headers
+                    .iter()
+                    .map(|h| (h.name.to_string(), h.value.to_vec()))
+                    .collect(),
+            ),
+            Status::Partial => panic!("unexpectedly partial"),
+        }
+    }
+
+    #[test]
+    fn parses_full_head_and_offsets_body() {
+        let buf = b"POST /v1/infer?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 3\r\n\r\nxyz";
+        let (n, headers) = parse_ok(buf);
+        assert_eq!(&buf[n..], b"xyz");
+        assert_eq!(headers.len(), 2);
+        assert_eq!(headers[1], ("Content-Length".to_string(), b"3".to_vec()));
+    }
+
+    #[test]
+    fn value_whitespace_is_trimmed() {
+        let buf = b"GET / HTTP/1.0\r\nX-Pad:  \tv a l \t \r\n\r\n";
+        let (_, headers) = parse_ok(buf);
+        assert_eq!(headers[0].1, b"v a l".to_vec());
+    }
+
+    #[test]
+    fn incomplete_heads_are_partial() {
+        for cut in 1.."GET / HTTP/1.1\r\nHost: a\r\n\r\n".len() {
+            let buf = &b"GET / HTTP/1.1\r\nHost: a\r\n\r\n"[..cut];
+            let mut slots = [EMPTY_HEADER; 4];
+            let mut req = Request::new(&mut slots);
+            assert_eq!(req.parse(buf).expect("prefix parses"), Status::Partial, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn malformed_heads_error() {
+        let cases: &[&[u8]] = &[
+            b"GET\r\n\r\n",                          // no target
+            b"GET /\r\n\r\n",                        // no version
+            b"GET / HTTP/2.0\r\n\r\n",               // bad version
+            b"G T / HTTP/1.1\r\n\r\n",               // space in method -> 3-way split fails version
+            b"GET / HTTP/1.1\r\nNo-Colon\r\n\r\n",   // header without ':'
+            b"GET / HTTP/1.1\r\n: v\r\n\r\n",        // empty header name
+            b"GET / HTTP/1.1\nHost: a\n\n",          // bare LF line endings
+            b"GET / HTTP/1.1\r\nBad\x01Name: v\r\n\r\n",
+            b"\x00\xff\x00\xff",                     // binary garbage
+        ];
+        for case in cases {
+            let mut slots = [EMPTY_HEADER; 4];
+            let mut req = Request::new(&mut slots);
+            assert!(req.parse(case).is_err(), "accepted {case:?}");
+        }
+    }
+
+    #[test]
+    fn header_overflow_is_typed() {
+        let mut slots = [EMPTY_HEADER; 1];
+        let mut req = Request::new(&mut slots);
+        let buf = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\n\r\n";
+        assert_eq!(req.parse(buf), Err(Error::TooManyHeaders));
+    }
+}
