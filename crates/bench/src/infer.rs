@@ -173,6 +173,13 @@ fn time_paired(
         best_paired_ratio: 0.0,
     };
     for _ in 0..reps.max(1) {
+        // Both sides read freshly cloned tensors: the batched drain
+        // consumes per-rep clones via `submit`, so the sequential loop
+        // gets a per-rep clone set too. Without the symmetry, one side
+        // reads warm long-lived buffers while the other reads fresh
+        // allocations, and allocator layout luck becomes a systematic
+        // per-run bias in the ratio.
+        let seq_clips: Vec<Tensor> = clips.to_vec();
         // Batched side.
         let mut sched = BatchScheduler::new(batch);
         for c in clips {
@@ -188,7 +195,7 @@ fn time_paired(
         // Sequential side, immediately after, same conditions.
         let mut seq = Vec::with_capacity(clips.len());
         let t0 = Instant::now();
-        for c in clips {
+        for c in &seq_clips {
             seq_step(c, &mut seq);
         }
         let scps = clips.len() as f64 / t0.elapsed().as_secs_f64().max(1e-12);

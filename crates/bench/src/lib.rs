@@ -11,6 +11,7 @@
 //! ```
 
 pub mod infer;
+pub mod ingest;
 pub mod masks;
 pub mod published;
 pub mod resume_cli;
@@ -22,6 +23,7 @@ pub use resume_cli::{
     capture_baseline, restore_baseline, run_baseline_phase, ResumeOpts, BASELINE_PROGRESS_KEY,
 };
 pub use infer::{run_inference_throughput, InferBenchConfig, InferBenchReport};
+pub use ingest::{run_ingest_throughput, IngestBenchConfig, IngestBenchReport};
 pub use published::{PublishedRow, TABLE4_ROWS};
 pub use table::TableWriter;
 pub use throughput::{run_conv3d_throughput, Conv3dBenchConfig, Conv3dBenchReport};

@@ -49,16 +49,25 @@ fn batched_engine_beats_sequential_at_8_threads() {
 }
 
 /// The sim backend must never be *slower* batched than sequential, at
-/// any forced thread count. Before the per-worker scratch reuse and the
-/// physical-core worker cap, forcing more sim workers than host cores
-/// oversubscribed the CPU and pushed `batched_speedup` below 1.0
-/// (0.94–0.98 at 2–4 forced threads on a 1-core host) while the
-/// sequential baseline, being internally serial, was immune.
+/// any forced thread count. Two past regressions inform this gate.
+/// First, before the per-worker scratch reuse and the physical-core
+/// worker cap, forcing more sim workers than host cores oversubscribed
+/// the CPU and pushed `batched_speedup` below 1.0 (0.94–0.98 at 2–4
+/// forced threads on a 1-core host) while the sequential baseline,
+/// being internally serial, was immune. Second, a residual ~0.997-at-2t
+/// wobble traced to dispatch granularity plus a measurement asymmetry:
+/// the engines dispatched one pool chunk *per clip* (per-clip closure
+/// dispatch, and adjacent workers interleaving writes to neighboring
+/// `ClipResult` slots — false sharing on the results array), and
+/// `time_paired`'s sequential side read long-lived warm tensors while
+/// the batched side read per-rep clones, letting allocator layout luck
+/// bias whole runs. The engines now dispatch one contiguous slab per
+/// worker and both sides of a pair read per-rep clones.
 ///
 /// `batched_speedup` is the best *paired* ratio over `reps` interleaved
 /// head-to-head measurements, so external interference can only lower
 /// it; eight pairs keep the false-failure probability negligible while a
-/// systematic oversubscription regression (every pair slow) still fails.
+/// systematic regression (every pair slow) still fails.
 #[test]
 fn sim_batched_never_slower_than_sequential() {
     let cfg = InferBenchConfig {

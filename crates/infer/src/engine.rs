@@ -292,10 +292,16 @@ impl InferenceEngine for F32Engine {
 
     fn infer_batch_into(&mut self, clips: &[Tensor], out: &mut [ClipResult]) {
         assert_eq!(clips.len(), out.len(), "clips/results length mismatch");
-        // One chunk per clip; each worker state is a network replica.
-        // Results land at the clip's own index regardless of scheduling.
-        parallel_worker_chunks(out, 1, &mut self.replicas, |rep, idx, slot| {
-            rep.run(&clips[idx], &mut slot[0]);
+        // One contiguous slab per replica (not one chunk per clip):
+        // a single dispatch per worker, and each worker writes a
+        // contiguous result range, so cache lines are shared only at
+        // slab boundaries. The clip→slot mapping stays fixed, so
+        // results are bitwise independent of the worker count.
+        let slab = out.len().div_ceil(self.replicas.len().max(1));
+        parallel_worker_chunks(out, slab, &mut self.replicas, |rep, ci, slots| {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                rep.run(&clips[ci * slab + k], slot);
+            }
         });
     }
 
@@ -308,19 +314,23 @@ impl InferenceEngine for F32Engine {
     ) -> SupervisionReport {
         assert_eq!(clips.len(), out.len(), "clips/results length mismatch");
         assert_eq!(clips.len(), ctx.len(), "clips/ctx length mismatch");
-        parallel_worker_chunks(out, 1, &mut self.replicas, |rep, idx, slot| {
-            slot[0] = supervise_slot(ctx[idx], chaos, || {
-                // A panic mid-eval cannot corrupt later clips: `run`
-                // starts with `arena.reset()` and every acquire re-sets
-                // shape and length, so the same worker keeps producing
-                // bitwise-correct results until the post-batch restart
-                // swaps its arena anyway.
-                let mut res = ClipResult::default();
-                rep.run(&clips[idx], &mut res);
-                (res, 0.0)
-            });
-            if slot[0].is_err() {
-                rep.crashes += 1;
+        let slab = out.len().div_ceil(self.replicas.len().max(1));
+        parallel_worker_chunks(out, slab, &mut self.replicas, |rep, ci, slots| {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                let idx = ci * slab + k;
+                *slot = supervise_slot(ctx[idx], chaos, || {
+                    // A panic mid-eval cannot corrupt later clips: `run`
+                    // starts with `arena.reset()` and every acquire re-sets
+                    // shape and length, so the same worker keeps producing
+                    // bitwise-correct results until the post-batch restart
+                    // swaps its arena anyway.
+                    let mut res = ClipResult::default();
+                    rep.run(&clips[idx], &mut res);
+                    (res, 0.0)
+                });
+                if slot.is_err() {
+                    rep.crashes += 1;
+                }
             }
         });
         SupervisionReport {
@@ -422,11 +432,20 @@ impl InferenceEngine for SimEngine {
         self.ensure_workers(cap);
         let net = &self.net;
         let pruned = &self.pruned;
-        parallel_worker_chunks(out, 1, &mut self.workers[..cap], |w, idx, slot| {
-            let r = net.forward_functional_with_scratch(&clips[idx], pruned, &mut w.scratch);
-            slot[0].logits.clear();
-            slot[0].logits.extend_from_slice(&r.logits);
-            slot[0].prediction = r.prediction;
+        // Slab dispatch, as in F32Engine: one contiguous result range
+        // per worker instead of a chunk per clip.
+        let slab = out.len().div_ceil(cap);
+        parallel_worker_chunks(out, slab, &mut self.workers[..cap], |w, ci, slots| {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                let r = net.forward_functional_with_scratch(
+                    &clips[ci * slab + k],
+                    pruned,
+                    &mut w.scratch,
+                );
+                slot.logits.clear();
+                slot.logits.extend_from_slice(&r.logits);
+                slot.prediction = r.prediction;
+            }
         });
     }
 
@@ -443,20 +462,25 @@ impl InferenceEngine for SimEngine {
         self.ensure_workers(cap);
         let net = &self.net;
         let pruned = &self.pruned;
-        parallel_worker_chunks(out, 1, &mut self.workers[..cap], |w, idx, slot| {
-            slot[0] = supervise_slot(ctx[idx], chaos, || {
-                let r = net.forward_functional_with_scratch(&clips[idx], pruned, &mut w.scratch);
-                let saturation = r.saturation_rate();
-                (
-                    ClipResult {
-                        prediction: r.prediction,
-                        logits: r.logits,
-                    },
-                    saturation,
-                )
-            });
-            if slot[0].is_err() {
-                w.crashes += 1;
+        let slab = out.len().div_ceil(cap);
+        parallel_worker_chunks(out, slab, &mut self.workers[..cap], |w, ci, slots| {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                let idx = ci * slab + k;
+                *slot = supervise_slot(ctx[idx], chaos, || {
+                    let r =
+                        net.forward_functional_with_scratch(&clips[idx], pruned, &mut w.scratch);
+                    let saturation = r.saturation_rate();
+                    (
+                        ClipResult {
+                            prediction: r.prediction,
+                            logits: r.logits,
+                        },
+                        saturation,
+                    )
+                });
+                if slot.is_err() {
+                    w.crashes += 1;
+                }
             }
         });
         SupervisionReport {

@@ -32,11 +32,15 @@ use crate::engine::InferenceEngine;
 use crate::json::{self, Obj};
 use crate::resilience::{InferError, Request, ResilientServer, Response, ServerConfig};
 use crate::stats::ErrorBudget;
-use crate::wire::{self, read_request, write_response, HttpRequest, WireLimits, CLIENT_HEADER};
+use crate::wire::{
+    self, read_body, read_request_head, write_response, BodyReader, HttpRequest, WireLimits,
+    CLIENT_HEADER, CONTENT_TYPE_VID,
+};
 use p3d_tensor::parallel::pool_stats;
 use p3d_tensor::simd;
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
+use p3d_tensor::Tensor;
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -199,6 +203,8 @@ pub struct ServeSnapshot {
     pub wire_rejects: u64,
     /// Engine batches dispatched.
     pub batches: u64,
+    /// Clips decoded from streamed `application/x-p3d-vid` bodies.
+    pub vid_clips: u64,
     /// Per-client `(name, admitted, rate_limited)` rows.
     pub clients: Vec<(String, u64, u64)>,
     /// Seconds since the server started.
@@ -219,6 +225,7 @@ struct Inner {
     http_requests: u64,
     wire_rejects: u64,
     batches: u64,
+    vid_clips: u64,
 }
 
 struct Shared {
@@ -242,6 +249,7 @@ impl Shared {
             http_requests: inner.http_requests,
             wire_rejects: inner.wire_rejects,
             batches: inner.batches,
+            vid_clips: inner.vid_clips,
             clients: self.gate.snapshot(),
             uptime_s: self.started.elapsed().as_secs_f64(),
         }
@@ -280,6 +288,7 @@ impl HttpServer {
                 http_requests: 0,
                 wire_rejects: 0,
                 batches: 0,
+                vid_clips: 0,
             }),
             work: Condvar::new(),
             gate: FairnessGate::new(cfg.rate_per_s, cfg.burst),
@@ -448,31 +457,37 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> 
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    // Bytes of the next pipelined request over-read with a bodiless
+    // head; threaded through `read_request_head` across iterations.
+    let mut carry: Vec<u8> = Vec::new();
     loop {
         if shared.stopping.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let req = match read_request(&mut reader, &shared.limits) {
-            Ok(Some(req)) => req,
+        let wire_reject = |writer: &mut BufWriter<TcpStream>, e: &wire::WireError| {
+            {
+                let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                inner.wire_rejects += 1;
+            }
+            // A malformed request poisons the framing; answer when
+            // possible, always close.
+            if let Some((status, reason)) = e.status() {
+                let body = Obj::new().str("error", &e.to_string()).build();
+                let _ = write_response(
+                    writer,
+                    status,
+                    reason,
+                    "application/json",
+                    body.as_bytes(),
+                    true,
+                );
+            }
+        };
+        let (mut req, framing) = match read_request_head(&mut reader, &mut carry, &shared.limits) {
+            Ok(Some(parts)) => parts,
             Ok(None) => return Ok(()), // clean close between requests
             Err(e) => {
-                {
-                    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
-                    inner.wire_rejects += 1;
-                }
-                // A malformed request poisons the framing; answer when
-                // possible, always close.
-                if let Some((status, reason)) = e.status() {
-                    let body = Obj::new().str("error", &e.to_string()).build();
-                    let _ = write_response(
-                        &mut writer,
-                        status,
-                        reason,
-                        "application/json",
-                        body.as_bytes(),
-                        true,
-                    );
-                }
+                wire_reject(&mut writer, &e);
                 return Ok(());
             }
         };
@@ -481,6 +496,26 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> 
             inner.http_requests += 1;
         }
         let keep_alive = req.keep_alive() && !shared.stopping.load(Ordering::SeqCst);
+
+        // Streamed video bodies are decoded frame-by-frame straight off
+        // the socket; every other request slurps its (bounded) body the
+        // classic way before routing.
+        let is_vid = req.method == "POST"
+            && req.path == "/v1/infer"
+            && req
+                .header("content-type")
+                .is_some_and(|ct| ct.eq_ignore_ascii_case(CONTENT_TYPE_VID));
+        if is_vid {
+            let keep = serve_infer_vid(shared, &req, &mut reader, framing, &mut writer, keep_alive)?;
+            if !keep {
+                return Ok(());
+            }
+            continue;
+        }
+        if let Err(e) = read_body(&mut reader, &mut req, framing) {
+            wire_reject(&mut writer, &e);
+            return Ok(());
+        }
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => {
                 let body: &[u8] = if shared.stopping.load(Ordering::SeqCst) {
@@ -589,6 +624,98 @@ fn serve_infer(
         }
     };
 
+    submit_and_respond(shared, clip, writer, keep_alive)
+}
+
+/// Handles one streamed `POST /v1/infer` with a P3DVID1 body: fairness
+/// gate first (so a shed request costs no decode work), then the body
+/// is decoded frame-by-frame straight off the socket into a clip
+/// without ever buffering the container.
+///
+/// Returns whether the connection may continue serving requests. Any
+/// error after the head leaves the body partially consumed, so those
+/// paths answer with `Connection: close` and return `false`; on success
+/// [`wire::decode_vid_body`] has consumed exactly the declared
+/// `Content-Length`, so keep-alive survives.
+fn serve_infer_vid(
+    shared: &Shared,
+    req: &HttpRequest,
+    reader: &mut impl Read,
+    framing: wire::BodyFraming,
+    writer: &mut impl Write,
+    keep_alive: bool,
+) -> std::io::Result<bool> {
+    let client = req.header(CLIENT_HEADER).unwrap_or("anonymous").to_string();
+    if !shared.gate.admit(&client) {
+        {
+            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.budget.submitted += 1;
+            inner.budget.rate_limited += 1;
+        }
+        let body = Obj::new()
+            .str("error", "rate limited")
+            .str("client", &client)
+            .build();
+        // The body was never read, so the framing is unusable: close.
+        write_response(
+            writer,
+            429,
+            "Too Many Requests",
+            "application/json",
+            body.as_bytes(),
+            true,
+        )?;
+        return Ok(false);
+    }
+
+    fn reject(
+        shared: &Shared,
+        writer: &mut impl Write,
+        e: &wire::WireError,
+    ) -> std::io::Result<()> {
+        {
+            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.budget.submitted += 1;
+            inner.budget.rejected_invalid += 1;
+        }
+        let (status, reason) = e.status().unwrap_or((400, "Bad Request"));
+        let body = Obj::new().str("error", &e.to_string()).build();
+        write_response(writer, status, reason, "application/json", body.as_bytes(), true)
+    }
+
+    let Some(declared) = framing.declared else {
+        let e = wire::WireError::BadContentLength(
+            "streamed video requires Content-Length".to_string(),
+        );
+        reject(shared, writer, &e)?;
+        return Ok(false);
+    };
+    let mut body = BodyReader::new(reader, framing);
+    let clip = match wire::decode_vid_body(req, &mut body, declared, &shared.limits) {
+        Ok(clip) => clip,
+        Err(e) => {
+            reject(shared, writer, &e)?;
+            return Ok(false);
+        }
+    };
+    debug_assert_eq!(body.unread(), 0, "decode_vid_body consumes the exact body");
+    {
+        let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.vid_clips += 1;
+    }
+    submit_and_respond(shared, clip, writer, keep_alive)?;
+    Ok(keep_alive)
+}
+
+/// Shared tail of both infer endpoints: submit the decoded clip under
+/// the lock, park on a private channel for the dispatcher, and render
+/// the response.
+fn submit_and_respond(
+    shared: &Shared,
+    clip: Tensor,
+    writer: &mut impl Write,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     // Submit under the lock and park on a private channel.
     let rx = {
         let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -708,6 +835,7 @@ fn stats_json(shared: &Shared) -> String {
         .u64("http_requests", snap.http_requests)
         .u64("wire_rejects", snap.wire_rejects)
         .u64("batches", snap.batches)
+        .u64("vid_clips", snap.vid_clips)
         .raw("error_budget", &json::budget_json(&snap.budget))
         .raw("engine", &engine)
         .raw("pool", &pool)

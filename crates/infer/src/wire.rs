@@ -80,6 +80,10 @@ pub enum WireError {
     /// The `X-P3D-Shape` header is missing or malformed, a dimension
     /// exceeds [`MAX_DIM`], or the shape disagrees with the body size.
     BadShape(String),
+    /// A streamed P3DVID1 body failed validation: bad magic, checksum
+    /// mismatch, truncated record, or geometry disagreeing with the
+    /// declared shape/`Content-Length`.
+    BadVideo(String),
 }
 
 impl WireError {
@@ -95,6 +99,7 @@ impl WireError {
             WireError::UnsupportedTransferEncoding => Some((501, "Not Implemented")),
             WireError::UnsupportedMediaType(_) => Some((415, "Unsupported Media Type")),
             WireError::BadShape(_) => Some((400, "Bad Request")),
+            WireError::BadVideo(_) => Some((400, "Bad Request")),
         }
     }
 }
@@ -118,6 +123,7 @@ impl std::fmt::Display for WireError {
                 write!(f, "unsupported content type '{ct}'")
             }
             WireError::BadShape(m) => write!(f, "bad clip shape: {m}"),
+            WireError::BadVideo(m) => write!(f, "bad video stream: {m}"),
         }
     }
 }
@@ -159,19 +165,48 @@ impl HttpRequest {
     }
 }
 
-/// Reads one request from `r` under `limits`.
+/// How the body of a parsed head is framed: the validated declared
+/// length plus any body bytes that arrived buffered behind the head.
+///
+/// Produced by [`read_request_head`]; consumed either by slurping the
+/// whole body ([`read_request`] does this) or by streaming it
+/// incrementally through a [`BodyReader`] without ever materialising
+/// the full payload.
+#[derive(Clone, Debug, Default)]
+pub struct BodyFraming {
+    /// Validated `Content-Length` (`None` when the request has no
+    /// body). Always within [`WireLimits::max_body_bytes`].
+    pub declared: Option<u64>,
+    /// Body bytes over-read while accumulating the head; always
+    /// `<= declared`.
+    pub leftover: Vec<u8>,
+}
+
+/// Reads and validates one request *head* from `r` under `limits`,
+/// leaving the body on the wire.
+///
+/// `carry` holds bytes already pulled off the wire that belong to this
+/// request — the over-read tail of a previous pipelined request. It is
+/// consumed on entry; any bytes over-read *past this request's body*
+/// (the start of the next pipelined request) are stored back into
+/// `carry` for the next call, so framing stays exact across a
+/// keep-alive connection. Callers that only ever parse a single
+/// request can pass a fresh `Vec`.
 ///
 /// Returns `Ok(None)` on a clean EOF before the first byte (the peer
-/// finished with the connection). The head buffer grows in small steps
-/// and is capped at `max_head_bytes`; the body allocation happens only
-/// after its declared length passes the cap check, so a hostile
-/// `Content-Length` can never trigger an oversized allocation.
-pub fn read_request(
+/// finished with the connection). All framing validation happens here
+/// — transfer encodings rejected, `Content-Length` parsed with
+/// duplicate-conflict detection, and the body cap checked before
+/// anything is allocated — so both the slurping and the streaming
+/// consumers inherit identical hardening.
+pub fn read_request_head(
     r: &mut impl Read,
+    carry: &mut Vec<u8>,
     limits: &WireLimits,
-) -> Result<Option<HttpRequest>, WireError> {
+) -> Result<Option<(HttpRequest, BodyFraming)>, WireError> {
     // ---- accumulate the head, re-parsing as bytes arrive -----------
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut buf: Vec<u8> = std::mem::take(carry);
+    buf.reserve(512);
     let mut chunk = [0u8; 512];
     let head_len = loop {
         match parse_head_len(&buf)? {
@@ -207,7 +242,7 @@ pub fn read_request(
         }
     }
     let full_path = parsed.path.unwrap_or("/").to_string();
-    let mut req = HttpRequest {
+    let req = HttpRequest {
         method: parsed.method.unwrap_or("").to_string(),
         path: full_path.split('?').next().unwrap_or("/").to_string(),
         version: parsed.version.unwrap_or(1),
@@ -219,13 +254,21 @@ pub fn read_request(
         body: Vec::new(),
     };
 
-    // ---- frame and read the body -----------------------------------
+    // ---- validate body framing -------------------------------------
     if req.header("transfer-encoding").is_some() {
         return Err(WireError::UnsupportedTransferEncoding);
     }
+    let already = buf.len() - head_len;
     let declared: u64 = match content_length(&req)? {
         Some(n) => n,
-        None => return Ok(Some(req)),
+        None => {
+            // A bodiless head over-read the start of the next
+            // pipelined request; hand those bytes to the next call.
+            if already > 0 {
+                *carry = buf[head_len..].to_vec();
+            }
+            return Ok(Some((req, BodyFraming::default())));
+        }
     };
     if declared > limits.max_body_bytes as u64 {
         return Err(WireError::BodyTooLarge {
@@ -233,21 +276,106 @@ pub fn read_request(
             limit: limits.max_body_bytes,
         });
     }
-    let mut body = vec![0u8; declared as usize];
-    let already = buf.len() - head_len;
-    let take = already.min(body.len());
-    body[..take].copy_from_slice(&buf[head_len..head_len + take]);
-    if take < already {
-        // Bytes past the declared body are a framing violation (the
-        // next pipelined request would be misread); reject loudly.
-        return Err(WireError::BadContentLength(format!(
-            "{} bytes follow a {declared}-byte body",
-            already - take
-        )));
+    if already as u64 > declared {
+        // Over-read past the declared body: the surplus is the next
+        // pipelined request, not ours to swallow.
+        let split = head_len + declared as usize;
+        *carry = buf[split..].to_vec();
+        buf.truncate(split);
     }
+    let leftover = buf[head_len..].to_vec();
+    Ok(Some((
+        req,
+        BodyFraming {
+            declared: Some(declared),
+            leftover,
+        },
+    )))
+}
+
+/// Reads one request from `r` under `limits`, body included.
+///
+/// Returns `Ok(None)` on a clean EOF before the first byte (the peer
+/// finished with the connection). The head buffer grows in small steps
+/// and is capped at `max_head_bytes`; the body allocation happens only
+/// after its declared length passes the cap check, so a hostile
+/// `Content-Length` can never trigger an oversized allocation.
+pub fn read_request(
+    r: &mut impl Read,
+    limits: &WireLimits,
+) -> Result<Option<HttpRequest>, WireError> {
+    let Some((mut req, framing)) = read_request_head(r, &mut Vec::new(), limits)? else {
+        return Ok(None);
+    };
+    read_body(r, &mut req, framing)?;
+    Ok(Some(req))
+}
+
+/// Slurps the remainder of a request body described by `framing` into
+/// `req.body`. The allocation is safe: [`read_request_head`] already
+/// validated the declared length against the body cap.
+pub fn read_body(
+    r: &mut impl Read,
+    req: &mut HttpRequest,
+    framing: BodyFraming,
+) -> Result<(), WireError> {
+    let Some(declared) = framing.declared else {
+        return Ok(());
+    };
+    let mut body = vec![0u8; declared as usize];
+    let take = framing.leftover.len();
+    body[..take].copy_from_slice(&framing.leftover);
     r.read_exact(&mut body[take..]).map_err(|_| WireError::Closed)?;
     req.body = body;
-    Ok(Some(req))
+    Ok(())
+}
+
+/// A bounded [`Read`] over one request body: first the bytes that were
+/// over-read with the head, then the socket, never yielding more than
+/// the declared `Content-Length`. EOF lands exactly at the body's end,
+/// so a streaming decoder layered on top (e.g. the P3DVID1 reader)
+/// cannot run into the next pipelined request.
+pub struct BodyReader<'a, R: Read> {
+    r: &'a mut R,
+    leftover: Vec<u8>,
+    pos: usize,
+    remaining: u64,
+}
+
+impl<'a, R: Read> BodyReader<'a, R> {
+    /// Wraps `r` with the framing from [`read_request_head`].
+    pub fn new(r: &'a mut R, framing: BodyFraming) -> BodyReader<'a, R> {
+        let declared = framing.declared.unwrap_or(0);
+        BodyReader {
+            r,
+            remaining: declared - framing.leftover.len() as u64,
+            leftover: framing.leftover,
+            pos: 0,
+        }
+    }
+
+    /// Body bytes not yet consumed.
+    pub fn unread(&self) -> u64 {
+        (self.leftover.len() - self.pos) as u64 + self.remaining
+    }
+}
+
+impl<R: Read> Read for BodyReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos < self.leftover.len() {
+            let n = buf.len().min(self.leftover.len() - self.pos);
+            buf[..n].copy_from_slice(&self.leftover[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
+        }
+        let want = (buf.len() as u64).min(self.remaining) as usize;
+        if want == 0 {
+            return Ok(0);
+        }
+        let got = self.r.read(&mut buf[..want])?;
+        self.remaining -= got as u64;
+        Ok(got)
+    }
 }
 
 /// Returns the head length when `buf` holds a complete head, `None`
@@ -322,6 +450,9 @@ pub fn write_response(
 pub const CONTENT_TYPE_F32: &str = "application/x-p3d-f32";
 /// Content type for raw little-endian planar Q7.8 (`i16`) payloads.
 pub const CONTENT_TYPE_Q78: &str = "application/x-p3d-q78";
+/// Content type for streamed P3DVID1 raw-video bodies, decoded
+/// frame-by-frame as they arrive.
+pub const CONTENT_TYPE_VID: &str = "application/x-p3d-vid";
 /// Header naming the clip shape, e.g. `X-P3D-Shape: 1,6,16,16`.
 pub const SHAPE_HEADER: &str = "x-p3d-shape";
 /// Header naming the submitting client for fairness accounting.
@@ -400,6 +531,78 @@ pub fn decode_clip(req: &HttpRequest) -> Result<Tensor, WireError> {
     Ok(Tensor::from_vec(dims, data))
 }
 
+/// Decodes a streamed `application/x-p3d-vid` request body into a
+/// `[1, D, H, W]` f32 clip, frame by frame as the bytes arrive.
+///
+/// Buffering is bounded throughout, per this module's discipline: the
+/// only transient buffer is one source frame, whose size the P3DVID1
+/// header caps and validates *before* allocation, and the target clip
+/// is capped against `limits.max_body_bytes` before it exists. The
+/// container must agree with the request on every axis — stream length
+/// vs `Content-Length`, frame count vs the shape header's `D` — so a
+/// success consumes the body exactly and keep-alive framing survives.
+///
+/// Frames are bilinear-resized to `H x W` (integer arithmetic) and
+/// normalized to `[0, 1]` f32 with the same shared kernels the ingest
+/// pipeline uses, so a clip streamed over the wire is bitwise
+/// identical to the same container decoded by `p3d ingest`.
+pub fn decode_vid_body(
+    req: &HttpRequest,
+    body: &mut impl Read,
+    declared: u64,
+    limits: &WireLimits,
+) -> Result<Tensor, WireError> {
+    use p3d_video_data::io::{FrameResizer, PreprocessConfig, VidReader};
+
+    let bad = |e: std::io::Error| WireError::BadVideo(e.to_string());
+    let dims = parse_shape(req)?;
+    let [c, d, h, w] = dims;
+    if c != 1 {
+        return Err(WireError::BadShape(format!(
+            "video bodies are single-channel luma; shape declares C = {c}"
+        )));
+    }
+    // Cap the decoded clip like any other body allocation.
+    let clip_bytes = (d as u64) * (h as u64) * (w as u64) * 4;
+    if clip_bytes > limits.max_body_bytes as u64 {
+        return Err(WireError::BodyTooLarge {
+            declared: clip_bytes,
+            limit: limits.max_body_bytes,
+        });
+    }
+
+    let mut reader = VidReader::open(body).map_err(bad)?;
+    let header = *reader.header();
+    if header.frames as usize != d {
+        return Err(WireError::BadVideo(format!(
+            "container holds {} frames but the shape header declares D = {d}",
+            header.frames
+        )));
+    }
+    if header.stream_len() != declared {
+        return Err(WireError::BadVideo(format!(
+            "container geometry implies {} bytes but Content-Length declares {declared}",
+            header.stream_len()
+        )));
+    }
+    let resizer = FrameResizer::new(
+        header.width as usize,
+        header.height as usize,
+        PreprocessConfig::to_size(h, w),
+    )
+    .map_err(bad)?;
+
+    let mut data = vec![0.0f32; d * h * w];
+    let mut frame_buf: Vec<u8> = Vec::new();
+    for f in 0..d {
+        if !reader.read_frame_into(&mut frame_buf).map_err(bad)? {
+            return Err(WireError::BadVideo("container ended mid-stream".to_string()));
+        }
+        resizer.run(&frame_buf, &mut data[f * h * w..(f + 1) * h * w]);
+    }
+    Ok(Tensor::from_vec(dims, data))
+}
+
 /// Encodes a clip as the raw little-endian planar f32 payload
 /// [`decode_clip`] accepts — the client half of the wire format, used
 /// by tests and benchmarks.
@@ -436,6 +639,15 @@ mod tests {
 
     fn read_str(s: &[u8]) -> Result<Option<HttpRequest>, WireError> {
         read_request(&mut Cursor::new(s.to_vec()), &limits())
+    }
+
+    /// Roomier limits for the video-body tests, whose containers do not
+    /// fit the deliberately tiny caps above.
+    fn vid_limits() -> WireLimits {
+        WireLimits {
+            max_head_bytes: 1024,
+            max_body_bytes: 1 << 16,
+        }
     }
 
     #[test]
@@ -590,15 +802,160 @@ mod tests {
     }
 
     #[test]
-    fn pipelined_overrun_is_a_framing_error() {
+    fn pipelined_tail_is_carried_to_the_next_request() {
         // Two pipelined requests in one buffer: the reader must not
-        // silently swallow the second one as body bytes.
-        let raw = b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabGET / HTTP/1.1\r\n\r\n";
-        // body "ab" followed by more buffered bytes than declared.
-        match read_str(raw) {
-            Err(WireError::BadContentLength(m)) => assert!(m.contains("follow"), "{m}"),
-            other => panic!("expected framing error, got {other:?}"),
+        // swallow the second one as body bytes, nor reject it — the
+        // surplus past the declared body frames the next request.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabGET /next HTTP/1.1\r\n\r\n";
+        let mut cur = Cursor::new(raw.to_vec());
+        let mut carry = Vec::new();
+        let (mut req, framing) = read_request_head(&mut cur, &mut carry, &limits())
+            .unwrap()
+            .unwrap();
+        assert_eq!(framing.declared, Some(2));
+        read_body(&mut cur, &mut req, framing).unwrap();
+        assert_eq!(req.body, b"ab");
+        assert_eq!(carry, b"GET /next HTTP/1.1\r\n\r\n");
+        // The second request parses entirely from the carried bytes.
+        let (req2, framing2) = read_request_head(&mut cur, &mut carry, &limits())
+            .unwrap()
+            .unwrap();
+        assert_eq!(req2.method, "GET");
+        assert_eq!(req2.path, "/next");
+        assert!(framing2.declared.is_none());
+        assert!(carry.is_empty());
+        // And the stream ends cleanly after it.
+        assert!(read_request_head(&mut cur, &mut carry, &limits())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn body_reader_is_bounded_and_serves_leftover_first() {
+        let mut socket = Cursor::new(b"cdefEXTRA".to_vec());
+        let framing = BodyFraming {
+            declared: Some(6),
+            leftover: b"ab".to_vec(),
+        };
+        let mut body = BodyReader::new(&mut socket, framing);
+        assert_eq!(body.unread(), 6);
+        let mut got = Vec::new();
+        body.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"abcdef", "leftover then socket, capped at declared");
+        assert_eq!(body.unread(), 0);
+        // The bytes past the body stay on the wire for the next request.
+        assert_eq!(socket.position(), 4);
+    }
+
+    fn vid_container(w: u32, h: u32, frames: u32) -> Vec<u8> {
+        use p3d_video_data::io::{VidHeader, VidWriter};
+        let header = VidHeader::gray8(w, h, frames, 30_000);
+        let mut wtr = VidWriter::new(Vec::new(), header).unwrap();
+        let frame: Vec<u8> = (0..header.frame_bytes()).map(|i| (i * 7 + 3) as u8).collect();
+        for _ in 0..frames {
+            wtr.write_frame(&frame).unwrap();
         }
+        wtr.finish().unwrap()
+    }
+
+    fn vid_req(shape: &str, body_len: usize) -> HttpRequest {
+        HttpRequest {
+            method: "POST".to_string(),
+            path: "/v1/infer".to_string(),
+            version: 1,
+            headers: vec![
+                (SHAPE_HEADER.to_string(), shape.as_bytes().to_vec()),
+                ("content-type".to_string(), CONTENT_TYPE_VID.as_bytes().to_vec()),
+                (
+                    "content-length".to_string(),
+                    body_len.to_string().into_bytes(),
+                ),
+            ],
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn vid_body_decodes_to_the_reference_clip_bitwise() {
+        use p3d_video_data::io::{read_video_clips, save_video, VidHeader};
+        let container = vid_container(8, 6, 3);
+        let req = vid_req("1,3,4,4", container.len());
+        let clip =
+            decode_vid_body(&req, &mut Cursor::new(&container), container.len() as u64, &vid_limits())
+                .unwrap();
+        assert_eq!(clip.shape().dims(), &[1, 3, 4, 4]);
+        // Pin against the serial ingest reference decode of the same
+        // container written to disk.
+        let path = std::env::temp_dir().join(format!(
+            "p3d-wire-vid-test-{}.p3dvid",
+            std::process::id()
+        ));
+        let header = VidHeader::gray8(8, 6, 3, 30_000);
+        let frame: Vec<u8> = (0..header.frame_bytes()).map(|i| (i * 7 + 3) as u8).collect();
+        save_video(&path, header, (0..3).map(|_| frame.as_slice())).unwrap();
+        let reference = read_video_clips(
+            &path,
+            3,
+            &p3d_video_data::io::PreprocessConfig::to_size(4, 4),
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            clip.data()
+                .iter()
+                .zip(reference[0].data().iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "wire decode differs from ingest reference"
+        );
+    }
+
+    #[test]
+    fn vid_body_rejects_geometry_and_framing_lies() {
+        let container = vid_container(8, 6, 3);
+        let n = container.len();
+        // Shape D disagrees with the container's frame count.
+        let req = vid_req("1,4,4,4", n);
+        assert!(matches!(
+            decode_vid_body(&req, &mut Cursor::new(&container), n as u64, &vid_limits()),
+            Err(WireError::BadVideo(_))
+        ));
+        // Content-Length disagrees with the container geometry.
+        let req = vid_req("1,3,4,4", n + 4);
+        assert!(matches!(
+            decode_vid_body(&req, &mut Cursor::new(&container), n as u64 + 4, &vid_limits()),
+            Err(WireError::BadVideo(_))
+        ));
+        // Multi-channel shapes have no video encoding.
+        let req = vid_req("2,3,4,4", n);
+        assert!(matches!(
+            decode_vid_body(&req, &mut Cursor::new(&container), n as u64, &vid_limits()),
+            Err(WireError::BadShape(_))
+        ));
+        // A corrupt payload byte fails the frame CRC.
+        let mut bad = container.clone();
+        bad[40] ^= 0x01;
+        let req = vid_req("1,3,4,4", n);
+        assert!(matches!(
+            decode_vid_body(&req, &mut Cursor::new(&bad), n as u64, &vid_limits()),
+            Err(WireError::BadVideo(_))
+        ));
+        // A truncated body surfaces as BadVideo, not a hang or panic.
+        let req = vid_req("1,3,4,4", n);
+        assert!(matches!(
+            decode_vid_body(
+                &req,
+                &mut Cursor::new(&container[..n - 10]),
+                n as u64,
+                &vid_limits()
+            ),
+            Err(WireError::BadVideo(_))
+        ));
+        // An oversized decoded clip is capped before allocation.
+        let req = vid_req("1,128,1024,1024", n);
+        assert!(matches!(
+            decode_vid_body(&req, &mut Cursor::new(&container), n as u64, &vid_limits()),
+            Err(WireError::BodyTooLarge { .. })
+        ));
     }
 
     #[test]

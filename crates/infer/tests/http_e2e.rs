@@ -236,6 +236,143 @@ fn wire_logits_bitwise_match_in_process_on_both_backends() {
     }
 }
 
+/// Reads exactly one HTTP response off a keep-alive stream, framed by
+/// its `Content-Length` (the loopback helpers above read to EOF, which
+/// only works with `Connection: close`).
+fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("response head");
+        raw.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&raw).to_string();
+    let status: u16 = head
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest[..3].parse().ok())
+        .unwrap_or_else(|| panic!("malformed response head: {head:?}"));
+    let len: usize = head
+        .to_ascii_lowercase()
+        .split_once("content-length: ")
+        .and_then(|(_, rest)| rest.split("\r\n").next())
+        .and_then(|v| v.trim().parse().ok())
+        .expect("response content-length");
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("response body");
+    (status, String::from_utf8_lossy(&body).to_string())
+}
+
+/// The streaming ingestion invariant over the wire: a P3DVID1 body
+/// decoded frame-by-frame off the socket produces logits bitwise
+/// identical to the serial reference decode of the same container fed
+/// through an in-process engine — and because success consumes exactly
+/// the declared `Content-Length`, one keep-alive connection serves
+/// back-to-back streamed clips.
+#[test]
+fn streamed_vid_logits_bitwise_match_the_prebuilt_tensor_path() {
+    use p3d_video_data::io::{
+        read_video_clips, save_video, PreprocessConfig, VidHeader, VidWriter,
+    };
+
+    // One 6-frame 24x20 GRAY8 container, both on disk (for the serial
+    // reference decoder) and in memory (for the upload).
+    let header = VidHeader::gray8(24, 20, 6, 24_000);
+    let mut rng = TensorRng::seed(77);
+    let frames: Vec<Vec<u8>> = (0..6)
+        .map(|_| {
+            (0..header.frame_bytes())
+                .map(|_| rng.below(256) as u8)
+                .collect()
+        })
+        .collect();
+    let container = {
+        let mut w = VidWriter::new(Vec::new(), header).unwrap();
+        for f in &frames {
+            w.write_frame(f).unwrap();
+        }
+        w.finish().unwrap()
+    };
+    let path = std::env::temp_dir().join(format!(
+        "p3d-e2e-vid-{}.p3dvid",
+        std::process::id()
+    ));
+    save_video(&path, header, frames.iter().map(|f| f.as_slice())).unwrap();
+    let clips = read_video_clips(&path, 6, &PreprocessConfig::to_size(16, 16)).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(clips.len(), 1);
+
+    // In-process reference on the tensor the *serial* decoder built.
+    let spec = r2plus1d_micro(4);
+    let mut reference_engine = {
+        let spec = spec.clone();
+        F32Engine::new(2, move || build_network(&spec, SEED))
+    };
+    let reference = bits(&reference_engine.infer_batch(&clips)[0].logits);
+    drop(reference_engine);
+
+    let server = HttpServer::start(
+        serve_cfg(),
+        Box::new({
+            let spec = spec.clone();
+            F32Engine::new(2, move || build_network(&spec, SEED))
+        }),
+        None,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Two streamed uploads on ONE keep-alive connection.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    for round in 0..2 {
+        let head = format!(
+            "POST /v1/infer HTTP/1.1\r\nContent-Type: application/x-p3d-vid\r\n\
+             X-P3D-Shape: 1,6,16,16\r\nContent-Length: {}\r\n\r\n",
+            container.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(&container).unwrap();
+        stream.flush().unwrap();
+        let (status, body) = read_one_response(&mut stream);
+        assert_eq!(status, 200, "round {round}: {body}");
+        assert_eq!(
+            extract_u32s(&body, "logits_bits"),
+            reference,
+            "round {round}: streamed vid logits diverge from the serial in-process path"
+        );
+    }
+    drop(stream);
+
+    // A corrupt container on a fresh connection: typed 400, connection
+    // closed (the body is unframed after a failed decode).
+    let mut bad = container.clone();
+    let flip = bad.len() - 10;
+    bad[flip] ^= 0x01;
+    let (status, body) = http_request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &[
+            ("Content-Type", "application/x-p3d-vid"),
+            ("X-P3D-Shape", "1,6,16,16"),
+        ],
+        &bad,
+    );
+    assert_eq!(status, 400, "corrupt container answered: {body}");
+    assert!(body.contains("bad video stream"), "{body}");
+
+    let (status, stats) = http_request(addr, "GET", "/stats", &[], b"");
+    assert_eq!(status, 200);
+    assert_eq!(json_u64(&stats, "vid_clips"), 2, "stats: {stats}");
+
+    let snap = server.shutdown();
+    assert_eq!(snap.vid_clips, 2);
+    assert_eq!(snap.budget.completed, 2);
+    assert!(snap.budget.balanced(), "budget: {:?}", snap.budget);
+}
+
 /// Chaos injected behind the wire: worker panics, stalls, and
 /// saturation storms inside the engine while HTTP clients hammer it.
 /// Every request gets exactly one HTTP answer, successes carry the

@@ -233,6 +233,92 @@ proptest! {
     }
 
     #[test]
+    fn request_smuggling_framings_are_refused(
+        case in prop::sample::select(vec![
+            // Two Content-Length headers that disagree: classic CL.CL
+            // desync bait. Must die, never pick one silently.
+            "Content-Length: 4\r\nContent-Length: 5\r\n",
+            // Comma-joined disagreeing values inside one header.
+            "Content-Length: 4, 5\r\n",
+            // Agreeing duplicates with junk appended to one.
+            "Content-Length: 4\r\nContent-Length: 4x\r\n",
+            // CL + Transfer-Encoding: the TE.CL desync classic; we
+            // implement no transfer codings, so 501 regardless of CL.
+            "Content-Length: 4\r\nTransfer-Encoding: chunked\r\n",
+            "Transfer-Encoding: identity\r\n",
+            "Transfer-Encoding: chunked\r\nContent-Length: 4\r\n",
+            // Obfuscated TE header values still name a coding we lack.
+            "Transfer-Encoding: chunked, identity\r\n",
+        ]),
+        segments in 1usize..4,
+    ) {
+        let req = format!("{VALID_POST_HEAD}{case}\r\nAAAA");
+        let reply = exchange(req.as_bytes(), segments);
+        let text = String::from_utf8_lossy(&reply);
+        assert!(
+            text.starts_with("HTTP/1.1 400") || text.starts_with("HTTP/1.1 501"),
+            "smuggling framing {case:?} answered {text:?}"
+        );
+        assert_alive("smuggling framing");
+    }
+
+    #[test]
+    fn agreeing_duplicate_content_lengths_still_frame_one_body(
+        segments in 1usize..4,
+    ) {
+        // Duplicates that agree are legal framing; the body must be
+        // consumed exactly once — the follow-up request on the same
+        // bytes proves nothing leaked into the next frame.
+        let body = vec![0x41u8; 8];
+        let mut req = format!(
+            "{VALID_POST_HEAD}Content-Length: 8\r\nContent-Length: 8\r\n\r\n"
+        )
+        .into_bytes();
+        req.extend_from_slice(&body);
+        req.extend_from_slice(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let reply = exchange(&req, segments);
+        let text = String::from_utf8_lossy(&reply);
+        // First request: a shape/body-size mismatch (8 bytes vs the
+        // declared clip) answered 400; second: the healthz 200 framed
+        // exactly after the 8-byte body.
+        assert!(
+            text.starts_with("HTTP/1.1 400"),
+            "first framed request answered {text:?}"
+        );
+        assert!(
+            text.contains("HTTP/1.1 200") && text.ends_with("ok\n"),
+            "pipelined follow-up was mis-framed: {text:?}"
+        );
+        assert_alive("agreeing duplicates");
+    }
+
+    #[test]
+    fn malformed_vid_bodies_are_typed_rejects(
+        corrupt_at in 0usize..32,
+        segments in 1usize..4,
+    ) {
+        // A vid-typed request whose body is not a valid P3DVID1 stream:
+        // garbage magic, then a real header corrupted at a random byte.
+        let mut body = vec![0u8; 64];
+        body[..8].copy_from_slice(b"P3DVID1\0");
+        body[corrupt_at] ^= 0x55;
+        let req_head = format!(
+            "POST /v1/infer HTTP/1.1\r\nContent-Type: application/x-p3d-vid\r\n\
+             X-P3D-Shape: 1,4,8,8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        let mut req = req_head.into_bytes();
+        req.extend_from_slice(&body);
+        let reply = exchange(&req, segments);
+        let text = String::from_utf8_lossy(&reply);
+        assert!(
+            text.starts_with("HTTP/1.1 400"),
+            "corrupt vid body answered {text:?}"
+        );
+        assert_alive("malformed vid body");
+    }
+
+    #[test]
     fn shape_and_type_confusion_is_a_typed_reject(
         shape in prop::sample::select(vec![
             "0,4,8,8", "1,4,8", "1,4,8,8,2", "1,4,8,99999", "a,b,c,d",

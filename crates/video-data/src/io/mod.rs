@@ -1,0 +1,39 @@
+//! Streaming video ingestion: the raw-bytes data plane feeding the
+//! serving stack.
+//!
+//! Pipeline, end to end:
+//!
+//! ```text
+//! P3DVID1 file/socket ──► hardened reader ──► resize/crop/normalize
+//!   (CRC-checked          ([`format`])         ([`preprocess`], fused,
+//!    frame records)                             integer arithmetic)
+//!                                                      │
+//!                                              arena-owned clip
+//!                                              buffers ([`arena`],
+//!                                              zero steady-state
+//!                                              allocs)
+//!                                                      │
+//!                          bounded N-deep ready ring ◄─┘
+//!                          ([`prefetch`], decode workers
+//!                           overlap the inference engine)
+//! ```
+//!
+//! Every stage is deterministic: clip tensors coming out of the
+//! pipeline are bitwise identical to the serial reference decode
+//! ([`read_video_clips`]) at any worker count, ring depth, or
+//! scheduling, so streamed inference results are bitwise identical to
+//! the pre-built-tensor path.
+
+pub mod arena;
+pub mod format;
+pub mod prefetch;
+pub mod preprocess;
+
+pub use arena::{ArenaClip, ClipArena, ClipArenaStats};
+pub use format::{
+    crc32, crc32_fast, save_video, Crc32Fast, IndexedVidReader, PixelFormat, VidHeader, VidReader,
+    VidWriter, FRAME_OVERHEAD, MAX_FRAMES, MAX_FRAME_BYTES, MAX_FRAME_DIM, VID_HEADER_LEN,
+    VID_MAGIC,
+};
+pub use prefetch::{read_video_clips, IngestStats, PrefetchConfig, Prefetcher};
+pub use preprocess::{decode_frame_reference, luma_to_f32, FrameResizer, PreprocessConfig};

@@ -28,6 +28,7 @@
 
 pub mod augment;
 pub mod generator;
+pub mod io;
 pub mod motion;
 
 pub use generator::{GeneratorConfig, SyntheticVideo};

@@ -138,4 +138,34 @@ cargo test -q -p p3d-infer --test http_e2e
 echo "==> HTTP soak smoke (release, ~10 s)"
 cargo test -q --release -p p3d-infer --test http_soak -- --ignored
 
+# The streaming-ingest merge requirements, named for the same reason:
+# the P3DVID1 container format fuzz (truncated headers, corrupt CRCs,
+# lying frame counts, hostile geometry must all error typed, never
+# panic); the prefetch pipeline acceptance suite (bitwise identity to
+# the serial reader across depths/worker counts, fault containment,
+# arena recycling); the streaming zero-allocation proof (decode
+# workers + ring hand-off + arena recycle perform zero heap
+# allocations over a 20-clip mid-stream window, counted by a
+# process-global allocator that sees worker threads too); and the
+# release overlap gate (pipelined decode+infer at least 1.5x serial
+# decode-then-infer at 2 and 4 threads, logits bitwise identical,
+# zero arena growth after warm-up — debug builds still pin the
+# bitwise + zero-growth half). The same clippy wall that guards the
+# rest of the workspace is re-run scoped to the ingest crate so a
+# future `--workspace` exclusion cannot silently drop it.
+echo "==> P3DVID1 container format fuzz"
+cargo test -q -p p3d-video-data --test vid_format_fuzz
+
+echo "==> prefetch pipeline acceptance (bitwise vs serial reader, faults, recycling)"
+cargo test -q -p p3d-video-data --test ingest_pipeline
+
+echo "==> streaming ingest zero-allocation steady state"
+cargo test -q -p p3d-video-data --test zero_alloc_ingest
+
+echo "==> ingest overlap gate (release: pipelined 1.5x serial, bitwise, zero growth)"
+cargo test -q --release -p p3d-bench --test ingest_overlap
+
+echo "==> clippy, scoped to the ingest crate"
+cargo clippy -p p3d-video-data --all-targets -- -D warnings
+
 echo "All checks passed."

@@ -13,6 +13,11 @@
 //!              [--backend f32|sim|both] [--threads T] [--json FILE]
 //!              [--resilient] [--replicas R] [--capacity C]
 //!              [--deadline-ms D] [--retries N] [--chaos-seed S]
+//! p3d ingest   --synth out.p3dvid [--model ...] [--clips N]
+//!              [--width W] [--height H] [--seed S]
+//! p3d ingest   --input file.p3dvid --ckpt model.ckpt [--model ...]
+//!              [--resize-h R] [--resize-w R] [--batch B] [--depth N]
+//!              [--workers W] [--threads T] [--serial] [--json FILE]
 //! p3d serve    --ckpt model.ckpt [--model ...] [--port P] [--backend f32|sim]
 //!              [--capacity C] [--deadline-ms D] [--retries N]
 //!              [--rate R] [--burst B] [--max-body BYTES]
@@ -919,11 +924,243 @@ fn cmd_tables() -> Result<(), String> {
     Ok(())
 }
 
+/// `p3d ingest`: write a synthetic P3DVID1 container (`--synth`) or
+/// stream an existing one through the prefetch pipeline into the f32
+/// engine, reporting end-to-end clips/s and overlap telemetry —
+/// optionally against the serial decode-then-infer baseline
+/// (`--serial`).
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    use p3d::nn::Layer;
+    use p3d::video_data::io::{
+        read_video_clips, save_video, ClipArena, PrefetchConfig, Prefetcher, PreprocessConfig,
+        VidHeader,
+    };
+
+    args.expect_known(
+        "ingest",
+        &[
+            "synth", "model", "clips", "width", "height", "seed", "input", "ckpt", "resize-h",
+            "resize-w", "batch", "depth", "workers", "threads", "serial", "json",
+        ],
+    )?;
+    let model = args.get("model", "micro".to_string())?;
+    let spec = model_spec(&model)?;
+    let (c, d, h, w) = spec.input;
+    if c != 1 {
+        return Err(format!(
+            "model '{model}' wants {c} input channels; P3DVID1 streams are single-channel gray8"
+        ));
+    }
+    let seed: u64 = args.get("seed", 42)?;
+
+    // ---- writer mode: synthesize a container ------------------------
+    if let Some(out) = args.flags.get("synth") {
+        let clips: usize = args.get("clips", 24)?;
+        let width: u32 = args.get("width", 256)?;
+        let height: u32 = args.get("height", 256)?;
+        if clips == 0 {
+            return Err("--clips must be positive".into());
+        }
+        let frames = (clips * d) as u32;
+        let header = VidHeader::gray8(width, height, frames, 30_000);
+        let mut rng = p3d::tensor::TensorRng::seed(seed);
+        let data: Vec<Vec<u8>> = (0..frames)
+            .map(|_| {
+                (0..header.frame_bytes())
+                    .map(|_| rng.below(256) as u8)
+                    .collect()
+            })
+            .collect();
+        save_video(
+            std::path::Path::new(out),
+            header,
+            data.iter().map(|f| f.as_slice()),
+        )
+        .map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "wrote {out}: {frames} frames of {width}x{height} gray8 ({clips} clips of {d} for '{model}', {} bytes)",
+            header.stream_len()
+        );
+        return Ok(());
+    }
+
+    // ---- run mode: stream the container into the engine -------------
+    let input = args.required("input")?;
+    let ckpt = args.required("ckpt")?;
+    let resize_h: usize = args.get("resize-h", h + h / 4)?;
+    let resize_w: usize = args.get("resize-w", w + w / 4)?;
+    let batch: usize = args.get("batch", 8)?;
+    let depth: usize = args.get("depth", 4)?;
+    let workers: usize = args.get("workers", 2)?;
+    let threads: usize = args.get("threads", 0)?;
+    let serial = args.get("serial", false)?;
+    let json_path = args.get("json", String::new())?;
+    if batch == 0 || batch > MAX_BATCH {
+        return Err(format!("--batch {batch} out of range (1..={MAX_BATCH})"));
+    }
+    if threads > MAX_THREADS_FLAG {
+        return Err(format!(
+            "--threads {threads} is not plausible (max {MAX_THREADS_FLAG})"
+        ));
+    }
+    if threads > 0 {
+        set_thread_override(Some(threads));
+    }
+
+    // Validates model/checkpoint compatibility before replicating.
+    let _validated = load_into(&spec, &ckpt, seed)?;
+    let replicas = max_threads().min(batch).max(1);
+    let mut engine = F32Engine::new(replicas, || {
+        load_into(&spec, &ckpt, seed).expect("checkpoint validated above")
+    });
+
+    let preprocess = PreprocessConfig {
+        resize_h,
+        resize_w,
+        crop_h: h,
+        crop_w: w,
+    };
+    let pcfg = PrefetchConfig {
+        depth,
+        workers,
+        clip_depth: d,
+        preprocess,
+        fault_clip: None,
+    };
+    let arena = ClipArena::new(pcfg.clip_shape(), depth + workers + batch);
+    let path = std::path::Path::new(&input);
+
+    let t0 = std::time::Instant::now();
+    let mut pipe =
+        Prefetcher::open(path, pcfg, arena.clone()).map_err(|e| format!("opening {input}: {e}"))?;
+    let total = pipe.total_clips();
+    if total == 0 {
+        return Err(format!(
+            "{input} holds fewer than {d} frames — no full clip for '{model}'"
+        ));
+    }
+    let mut predictions: Vec<usize> = Vec::with_capacity(total as usize);
+    let mut pipe_bits: Vec<Vec<u32>> = Vec::with_capacity(total as usize);
+    let mut pending: Vec<p3d::tensor::Tensor> = Vec::with_capacity(batch);
+    let flush = |pending: &mut Vec<p3d::tensor::Tensor>,
+                     engine: &mut F32Engine,
+                     predictions: &mut Vec<usize>,
+                     pipe_bits: &mut Vec<Vec<u32>>| {
+        if pending.is_empty() {
+            return;
+        }
+        for r in engine.infer_batch(pending) {
+            predictions.push(r.prediction);
+            pipe_bits.push(r.logits.iter().map(|x| x.to_bits()).collect());
+        }
+        for t in pending.drain(..) {
+            arena.release_tensor(t);
+        }
+    };
+    loop {
+        let clip = pipe
+            .next_clip()
+            .map_err(|e| format!("streaming {input}: {e}"))?;
+        match clip {
+            Some(clip) => {
+                pending.push(clip.into_tensor());
+                if pending.len() == batch {
+                    flush(&mut pending, &mut engine, &mut predictions, &mut pipe_bits);
+                }
+            }
+            None => {
+                flush(&mut pending, &mut engine, &mut predictions, &mut pipe_bits);
+                break;
+            }
+        }
+    }
+    let pipe_wall = t0.elapsed().as_secs_f64();
+    let stats = pipe.stats();
+    let grow = arena.stats().grow_events;
+    drop(pipe);
+
+    let cps = total as f64 / pipe_wall.max(1e-12);
+    println!(
+        "pipelined: {total} clips in {:.3} s = {cps:.1} clips/s | decode busy {:.3} s, consumer wait {:.3} s, overlap efficiency {:.2} | arena grow events {grow}",
+        pipe_wall,
+        stats.decode_busy_s,
+        stats.consumer_wait_s,
+        stats.overlap_efficiency(),
+    );
+
+    let mut serial_cps = 0.0f64;
+    let mut bitwise = true;
+    if serial {
+        let mut net = load_into(&spec, &ckpt, seed)?;
+        let t1 = std::time::Instant::now();
+        let clips = read_video_clips(path, d, &preprocess)
+            .map_err(|e| format!("serial decode of {input}: {e}"))?;
+        let mut serial_bits: Vec<Vec<u32>> = Vec::with_capacity(clips.len());
+        for clip in &clips {
+            let batch1 = clip.reshape([1, c, d, h, w]);
+            serial_bits.push(
+                net.forward(&batch1, p3d::nn::Mode::Eval)
+                    .data()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect(),
+            );
+        }
+        let serial_wall = t1.elapsed().as_secs_f64();
+        serial_cps = clips.len() as f64 / serial_wall.max(1e-12);
+        bitwise = serial_bits == pipe_bits;
+        println!(
+            "serial:    {} clips in {:.3} s = {serial_cps:.1} clips/s | pipelined speedup {:.2}x | logits bitwise {}",
+            clips.len(),
+            serial_wall,
+            cps / serial_cps.max(1e-12),
+            if bitwise { "identical" } else { "DIVERGED" },
+        );
+        if !bitwise {
+            return Err("pipelined logits diverged from the serial reference".into());
+        }
+    }
+
+    // Prediction histogram: a quick sanity read on the stream.
+    let mut hist: HashMap<usize, usize> = HashMap::new();
+    for p in &predictions {
+        *hist.entry(*p).or_insert(0) += 1;
+    }
+    let mut classes: Vec<_> = hist.into_iter().collect();
+    classes.sort_unstable();
+    let summary: Vec<String> = classes
+        .iter()
+        .map(|(class, n)| format!("{class}:{n}"))
+        .collect();
+    println!("predictions: {}", summary.join(" "));
+
+    if !json_path.is_empty() {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"input\": \"{input}\",\n"));
+        s.push_str(&format!("  \"model\": \"{model}\",\n"));
+        s.push_str(&format!("  \"clips\": {total},\n"));
+        s.push_str(&format!("  \"pipelined_clips_per_s\": {cps:.2},\n"));
+        s.push_str(&format!("  \"serial_clips_per_s\": {serial_cps:.2},\n"));
+        s.push_str(&format!(
+            "  \"overlap_efficiency\": {:.3},\n",
+            stats.overlap_efficiency()
+        ));
+        s.push_str(&format!("  \"arena_grow_events\": {grow},\n"));
+        s.push_str(&format!("  \"bitwise_equal\": {bitwise}\n"));
+        s.push_str("}\n");
+        std::fs::write(&json_path, s).map_err(|e| format!("writing {json_path}: {e}"))?;
+        println!("wrote {json_path}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         return Err(
-            "usage: p3d <train|eval|prune|simulate|infer|serve|tables> [--flag value ...]".into(),
+            "usage: p3d <train|eval|prune|simulate|infer|ingest|serve|tables> [--flag value ...]"
+                .into(),
         );
     };
     let args = Args::parse(&argv[1..])?;
@@ -933,6 +1170,7 @@ fn run() -> Result<(), String> {
         "prune" => cmd_prune(&args),
         "simulate" => cmd_simulate(&args),
         "infer" => cmd_infer(&args),
+        "ingest" => cmd_ingest(&args),
         "serve" => cmd_serve(&args),
         "tables" => cmd_tables(),
         other => Err(format!("unknown command '{other}'")),
