@@ -229,6 +229,43 @@ impl FaultPlan {
     }
 }
 
+/// One step of a swap-storm schedule: what the storm driver does to the
+/// server's model-control plane while request traffic and worker faults
+/// keep firing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwapAction {
+    /// Push (and hot-swap to) a known-good model, by index into the
+    /// storm's model roster.
+    Swap {
+        /// Index into the roster of valid checkpoints.
+        model: usize,
+    },
+    /// Push deliberately corrupted checkpoint bytes — the registry must
+    /// reject and quarantine it, and serving must not wobble.
+    PushCorrupt,
+}
+
+/// Builds a deterministic swap-storm schedule of `n` actions over a
+/// roster of `models` valid checkpoints: mostly rapid swaps between
+/// roster entries, with roughly `corrupt_rate` of the actions replaced
+/// by corrupt pushes. Same seed, same arguments → same storm, so chaos
+/// failures replay exactly.
+pub fn swap_storm(seed: u64, n: usize, models: usize, corrupt_rate: f64) -> Vec<SwapAction> {
+    assert!(models > 0, "storm needs at least one valid model");
+    let mut state = seed ^ 0x5707_11ca_57a9_e5d1;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        if roll < corrupt_rate {
+            out.push(SwapAction::PushCorrupt);
+        } else {
+            let model = (splitmix64(&mut state) % models as u64) as usize;
+            out.push(SwapAction::Swap { model });
+        }
+    }
+    out
+}
+
 /// Message used for injected worker panics; prefixed so the default
 /// panic hook filter and fault classification can recognise them.
 pub const CHAOS_PANIC_MESSAGE: &str = "chaos: injected worker panic";
@@ -317,5 +354,20 @@ mod tests {
         let plan = FaultPlan::new().inject(9, Fault::Delay { ms: 25 });
         assert_eq!(plan.delay_for(9), Some(Duration::from_millis(25)));
         assert_eq!(plan.delay_for(8), None);
+    }
+
+    #[test]
+    fn swap_storm_is_deterministic_and_mixes_actions() {
+        let a = swap_storm(42, 200, 3, 0.25);
+        let b = swap_storm(42, 200, 3, 0.25);
+        assert_eq!(a, b, "same seed must replay the same storm");
+        assert_ne!(a, swap_storm(43, 200, 3, 0.25));
+        let corrupt = a.iter().filter(|s| **s == SwapAction::PushCorrupt).count();
+        assert!(corrupt > 10 && corrupt < 100, "corrupt rate ~25%, got {corrupt}/200");
+        for action in &a {
+            if let SwapAction::Swap { model } = action {
+                assert!(*model < 3);
+            }
+        }
     }
 }

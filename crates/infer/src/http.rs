@@ -21,21 +21,39 @@
 //!   counted in the budget (`rate_limited`), so one greedy client
 //!   cannot starve the rest and `ErrorBudget::balanced` still holds.
 //!
-//! | endpoint          | behaviour                                        |
-//! |-------------------|--------------------------------------------------|
-//! | `POST /v1/infer`  | raw planar f32 / Q7.8 clip in, JSON result + provenance out |
-//! | `GET /stats`      | live aggregate budget, per-client counters, pool/engine telemetry |
-//! | `GET /healthz`    | `200 ok` while the server accepts work           |
+//! | endpoint           | behaviour                                        |
+//! |--------------------|--------------------------------------------------|
+//! | `POST /v1/infer`   | raw planar f32 / Q7.8 clip in, JSON result + provenance out |
+//! | `POST /v1/models`  | push a P3DCKPT2 checkpoint: validate, registry-publish, smoke-test, hot-swap (or canary) |
+//! | `GET /v1/models`   | serving hash + registry contents + quarantined pushes |
+//! | `GET /stats`       | live aggregate budget, per-client counters, pool/engine/swap/cache telemetry |
+//! | `GET /healthz`     | state-aware: `200 ok`, `200 degraded`, `503 draining` |
+//!
+//! **Hot-swap** rides the dispatcher's existing drain discipline: a
+//! pushed model is validated and smoke-tested on the handler thread,
+//! then parked as a pending swap; the dispatcher applies it *between*
+//! drain rounds, under the same lock submissions take — so the old
+//! engines have, by construction, resolved every queued request before
+//! the switch, and no request can land in between. With a
+//! [`CanaryPolicy`], the new model first serves a deterministic
+//! fraction of traffic on a second [`ResilientServer`] lane while its
+//! [`ErrorBudget`] is judged against the incumbent's over the same
+//! window ([`crate::swap::canary_verdict`]); regression rolls back
+//! automatically.
 
 use crate::chaos::FaultPlan;
 use crate::engine::InferenceEngine;
 use crate::json::{self, Obj};
+use crate::registry::{ModelRegistry, RegistryError};
 use crate::resilience::{InferError, Request, ResilientServer, Response, ServerConfig};
+use crate::respcache::{clip_hash, model_key, ResponseCache};
 use crate::stats::ErrorBudget;
+use crate::swap::{canary_verdict, smoke_test, CanaryPolicy, CanaryVerdict, SwapStats};
 use crate::wire::{
     self, read_body, read_request_head, write_response, BodyReader, HttpRequest, WireLimits,
     CLIENT_HEADER, CONTENT_TYPE_VID,
 };
+use p3d_nn::Checkpoint;
 use p3d_tensor::parallel::pool_stats;
 use p3d_tensor::simd;
 use std::collections::HashMap;
@@ -171,6 +189,18 @@ pub struct ServeConfig {
     /// after this long, and shutdown waits at most this long for
     /// handler threads to notice the stop flag.
     pub read_timeout: Duration,
+    /// Socket write timeout: a peer that accepts a request but stalls
+    /// reading the response cannot pin a handler thread past this. The
+    /// shed is a typed close counted as `stalled_writes` (the response
+    /// itself was already resolved and budgeted, so the ledger stays
+    /// balanced).
+    pub write_timeout: Duration,
+    /// Response-cache capacity in entries; `0` disables the cache.
+    pub cache_capacity: usize,
+    /// Content hash stamped as provenance on responses served by the
+    /// startup model (`"unkeyed"` when the server runs without a
+    /// registry).
+    pub model_hash: String,
     /// Optional deterministic fault plan injected into the *primary*
     /// engine's workers — chaos behind the wire, keyed by request
     /// index exactly as in-process.
@@ -186,9 +216,42 @@ impl Default for ServeConfig {
             rate_per_s: 0.0,
             burst: 0.0,
             read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            cache_capacity: 0,
+            model_hash: "unkeyed".to_string(),
             chaos: None,
         }
     }
+}
+
+/// Engines built from a pushed checkpoint: the primary plus an
+/// optional degradation fallback, mirroring [`HttpServer::start`].
+pub type EnginePair = (
+    Box<dyn InferenceEngine + Send>,
+    Option<Box<dyn InferenceEngine + Send>>,
+);
+
+/// Builds servable engines from a validated checkpoint, or explains
+/// why the checkpoint is unservable (wrong architecture, missing
+/// tensors). Runs on the pushing connection's handler thread, so an
+/// expensive build never stalls the dispatcher.
+pub type EngineFactory = Box<dyn Fn(&Checkpoint) -> Result<EnginePair, String> + Send + Sync>;
+
+/// Enables the model-push control plane (`POST /v1/models`) on a
+/// server: where accepted checkpoints persist, how engines are built
+/// from them, the golden clip every candidate must answer sanely
+/// before touching traffic, and (optionally) the canary policy.
+pub struct ModelPushConfig {
+    /// Content-addressed store for accepted checkpoints.
+    pub registry: ModelRegistry,
+    /// Builds (primary, fallback) engines from a pushed checkpoint.
+    pub factory: EngineFactory,
+    /// Warm-up / smoke-test input: a candidate that cannot produce
+    /// finite logits for this clip is rejected before the swap.
+    pub golden: Tensor,
+    /// `Some` routes new models through a canary trial instead of an
+    /// immediate swap.
+    pub canary: Option<CanaryPolicy>,
 }
 
 /// Point-in-time server telemetry, as served by `GET /stats`.
@@ -209,13 +272,49 @@ pub struct ServeSnapshot {
     pub clients: Vec<(String, u64, u64)>,
     /// Seconds since the server started.
     pub uptime_s: f64,
+    /// Content hash of the model currently serving lane-0 traffic.
+    pub serving_model: String,
+    /// Content hash of an in-trial canary model, if any.
+    pub canary_model: Option<String>,
+    /// Registry / swap / canary lifetime counters.
+    pub swap: SwapStats,
+    /// Human-readable description of the most recent swap event.
+    pub last_swap_event: String,
+    /// Response-cache telemetry: `(capacity, entries, hits, misses)`.
+    pub cache: (u64, u64, u64, u64),
+    /// Handler threads shed by the write timeout (stalled readers).
+    pub stalled_writes: u64,
+}
+
+/// A validated, smoke-tested model waiting for the dispatcher to apply
+/// it between drain rounds.
+struct PendingSwap {
+    primary: Box<dyn InferenceEngine + Send>,
+    fallback: Option<Box<dyn InferenceEngine + Send>>,
+    hash: String,
+    canary: Option<CanaryPolicy>,
+}
+
+/// The submission side of an active canary trial: a second resilient
+/// queue the fraction-router feeds. The candidate's engines live on the
+/// dispatcher's stack (it owns all engines); only the queue must be
+/// reachable from handler threads.
+struct CanaryLane {
+    rs: ResilientServer,
+    hash: String,
+    fraction: f64,
+    /// Requests routed so far (both lanes); drives the deterministic
+    /// low-discrepancy fraction router.
+    tick: u64,
 }
 
 /// What the engine dispatcher shares with connection handlers.
 struct Inner {
     resilient: ResilientServer,
-    /// Response channels for admitted, not-yet-resolved requests.
-    waiters: HashMap<usize, mpsc::Sender<Response>>,
+    /// Response channels for admitted, not-yet-resolved requests,
+    /// keyed by `(lane, submission index)` — lane 0 is the incumbent,
+    /// lane 1 the canary.
+    waiters: HashMap<(u8, usize), mpsc::Sender<Response>>,
     /// Submissions (admitted or not) since the last drain; the
     /// dispatcher runs whenever this is non-zero, so early rejections
     /// get their budget flushed promptly too.
@@ -226,6 +325,17 @@ struct Inner {
     wire_rejects: u64,
     batches: u64,
     vid_clips: u64,
+    /// Content hash of the lane-0 serving model.
+    serving_hash: String,
+    /// A pushed model the dispatcher has not yet applied.
+    pending_swap: Option<PendingSwap>,
+    /// The canary lane, while a trial runs.
+    canary: Option<CanaryLane>,
+    swap_stats: SwapStats,
+    last_swap_event: String,
+    stalled_writes: u64,
+    /// Exact-match response cache (`None` when capacity is 0).
+    cache: Option<ResponseCache>,
 }
 
 struct Shared {
@@ -233,17 +343,36 @@ struct Shared {
     work: Condvar,
     gate: FairnessGate,
     stopping: AtomicBool,
+    /// Lock-free mirror of "a pending swap is parked": `/healthz` must
+    /// answer `draining` *during* a long drain round, when the `Inner`
+    /// lock is continuously held by the dispatcher.
+    draining: AtomicBool,
+    /// Lock-free mirror of [`ErrorBudget::degraded`], refreshed by the
+    /// dispatcher after every round for the same reason.
+    degraded: AtomicBool,
     started: Instant,
     backend: String,
     fallback: Option<String>,
     expected_shape: Option<[usize; 4]>,
     limits: WireLimits,
     read_timeout: Duration,
+    write_timeout: Duration,
+    /// Resilience policy, kept to construct canary-lane queues.
+    server_cfg: ServerConfig,
+    /// The model-push control plane, when enabled.
+    models: Option<ModelPushConfig>,
+    /// `true` when a chaos plan is active; the response cache never
+    /// stores under chaos (a corrupted-input response must not be
+    /// replayed for the clean clip).
+    chaos_enabled: bool,
+    cache_capacity: usize,
 }
 
 impl Shared {
     fn snapshot(&self) -> ServeSnapshot {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let (hits, misses) = inner.cache.as_ref().map(|c| c.counters()).unwrap_or((0, 0));
+        let entries = inner.cache.as_ref().map(|c| c.len() as u64).unwrap_or(0);
         ServeSnapshot {
             budget: inner.budget,
             http_requests: inner.http_requests,
@@ -252,6 +381,12 @@ impl Shared {
             vid_clips: inner.vid_clips,
             clients: self.gate.snapshot(),
             uptime_s: self.started.elapsed().as_secs_f64(),
+            serving_model: inner.serving_hash.clone(),
+            canary_model: inner.canary.as_ref().map(|l| l.hash.clone()),
+            swap: inner.swap_stats.clone(),
+            last_swap_event: inner.last_swap_event.clone(),
+            cache: (self.cache_capacity as u64, entries, hits, misses),
+            stalled_writes: inner.stalled_writes,
         }
     }
 }
@@ -271,17 +406,33 @@ pub struct HttpServer {
 impl HttpServer {
     /// Binds `cfg.addr` and starts serving `primary` (with an optional
     /// degradation `fallback`, exactly as in
-    /// [`ResilientServer::drain`]).
+    /// [`ResilientServer::drain`]). Model pushes are disabled; see
+    /// [`HttpServer::start_with_models`].
     pub fn start(
         cfg: ServeConfig,
         primary: Box<dyn InferenceEngine + Send>,
         fallback: Option<Box<dyn InferenceEngine + Send>>,
     ) -> std::io::Result<HttpServer> {
+        HttpServer::start_with_models(cfg, primary, fallback, None)
+    }
+
+    /// [`HttpServer::start`], plus (optionally) the `POST /v1/models`
+    /// control plane: a registry to persist pushed checkpoints, a
+    /// factory to build engines from them, and the hot-swap / canary
+    /// machinery in the dispatcher.
+    pub fn start_with_models(
+        cfg: ServeConfig,
+        primary: Box<dyn InferenceEngine + Send>,
+        fallback: Option<Box<dyn InferenceEngine + Send>>,
+        models: Option<ModelPushConfig>,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let mut resilient = ResilientServer::new(cfg.server.clone());
+        resilient.set_model_hash(&cfg.model_hash);
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
-                resilient: ResilientServer::new(cfg.server.clone()),
+                resilient,
                 waiters: HashMap::new(),
                 pending_work: 0,
                 budget: ErrorBudget::default(),
@@ -289,16 +440,30 @@ impl HttpServer {
                 wire_rejects: 0,
                 batches: 0,
                 vid_clips: 0,
+                serving_hash: cfg.model_hash.clone(),
+                pending_swap: None,
+                canary: None,
+                swap_stats: SwapStats::default(),
+                last_swap_event: String::new(),
+                stalled_writes: 0,
+                cache: (cfg.cache_capacity > 0).then(|| ResponseCache::new(cfg.cache_capacity)),
             }),
             work: Condvar::new(),
             gate: FairnessGate::new(cfg.rate_per_s, cfg.burst),
             stopping: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
             started: Instant::now(),
             backend: primary.name().to_string(),
             fallback: fallback.as_ref().map(|f| f.name().to_string()),
             expected_shape: cfg.server.expected_shape,
             limits: cfg.limits,
             read_timeout: cfg.read_timeout,
+            write_timeout: cfg.write_timeout,
+            server_cfg: cfg.server.clone(),
+            models,
+            chaos_enabled: cfg.chaos.is_some(),
+            cache_capacity: cfg.cache_capacity,
         });
 
         let engine_thread = {
@@ -365,27 +530,58 @@ impl Drop for HttpServer {
     }
 }
 
+/// The candidate model of an active canary trial, as the dispatcher
+/// carries it: the engines themselves plus the trial ledgers the
+/// verdict is computed from. The incumbent's ledger here covers only
+/// the trial window, so both models are judged over the same traffic.
+struct CanaryTrial {
+    primary: Box<dyn InferenceEngine + Send>,
+    fallback: Option<Box<dyn InferenceEngine + Send>>,
+    hash: String,
+    policy: CanaryPolicy,
+    canary_budget: ErrorBudget,
+    canary_lat: Vec<f64>,
+    incumbent_budget: ErrorBudget,
+    incumbent_lat: Vec<f64>,
+}
+
 /// The dispatcher: waits for submitted work, drains the resilient
-/// queue in rounds, and routes each [`Response`] to its parked
+/// queue(s) in rounds, and routes each [`Response`] to its parked
 /// connection handler. Early rejections (validation/overload) have no
 /// waiter — their responses were already answered at the boundary, and
 /// only their budget counters matter here.
+///
+/// This thread owns every engine, which is what makes hot-swap atomic:
+/// drain, canary verdict, and swap intake all happen under one
+/// continuous hold of the `Inner` lock, so between "the old engines
+/// resolved every queued request" and "the new engines are serving"
+/// no submission can interleave, and no request is ever dropped or
+/// resolved twice.
 fn engine_loop(
     shared: &Shared,
     mut primary: Box<dyn InferenceEngine + Send>,
     mut fallback: Option<Box<dyn InferenceEngine + Send>>,
     chaos: Option<&FaultPlan>,
 ) {
+    let mut trial: Option<CanaryTrial> = None;
     loop {
         let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
-        while inner.pending_work == 0 && !shared.stopping.load(Ordering::SeqCst) {
+        while inner.pending_work == 0
+            && inner.pending_swap.is_none()
+            && !shared.stopping.load(Ordering::SeqCst)
+        {
             let (guard, _) = shared
                 .work
                 .wait_timeout(inner, Duration::from_millis(50))
                 .unwrap_or_else(|e| e.into_inner());
             inner = guard;
         }
-        if inner.pending_work == 0 && shared.stopping.load(Ordering::SeqCst) {
+        if shared.stopping.load(Ordering::SeqCst) && inner.pending_work == 0 {
+            // A swap pushed after shutdown began is abandoned; the
+            // pusher was already answered 202 and the registry entry
+            // persists for the next boot.
+            inner.pending_swap = None;
+            shared.draining.store(false, Ordering::SeqCst);
             return;
         }
         inner.pending_work = 0;
@@ -398,10 +594,137 @@ fn engine_loop(
         let run = inner.resilient.drain(primary.as_mut(), fb, chaos);
         inner.budget.accumulate(&run.budget);
         inner.batches += run.batches as u64;
+
+        // Canary lane: drain the candidate's queue with the candidate's
+        // engines (no chaos — injected faults must indict the incumbent
+        // configuration only, never the trial), and extend the trial
+        // ledgers for both lanes over this round's window.
+        let mut canary_responses: Vec<Response> = Vec::new();
+        if let Some(tr) = trial.as_mut() {
+            tr.incumbent_budget.accumulate(&run.budget);
+            tr.incumbent_lat.extend(
+                run.responses
+                    .iter()
+                    .filter(|r| r.outcome.is_ok())
+                    .map(|r| r.latency_ms),
+            );
+            let crun = {
+                let inner = &mut *inner;
+                let lane = inner.canary.as_mut().expect("active trial implies a lane");
+                let cfb = tr
+                    .fallback
+                    .as_deref_mut()
+                    .map(|f| f as &mut dyn InferenceEngine);
+                lane.rs.drain(tr.primary.as_mut(), cfb, None)
+            };
+            inner.budget.accumulate(&crun.budget);
+            inner.batches += crun.batches as u64;
+            tr.canary_budget.accumulate(&crun.budget);
+            tr.canary_lat.extend(
+                crun.responses
+                    .iter()
+                    .filter(|r| r.outcome.is_ok())
+                    .map(|r| r.latency_ms),
+            );
+            canary_responses = crun.responses;
+        }
+
+        // Judge the trial. Both queues are empty here and the lock has
+        // been held since before the drain, so promote/rollback cannot
+        // strand a queued request: anything submitted to the canary
+        // lane was resolved above.
+        if let Some(tr) = trial.as_ref() {
+            let verdict = canary_verdict(
+                &tr.canary_budget,
+                &tr.canary_lat,
+                &tr.incumbent_budget,
+                &tr.incumbent_lat,
+                &tr.policy,
+            );
+            if let Some(verdict) = verdict {
+                let tr = trial.take().expect("checked above");
+                inner.canary = None;
+                match verdict {
+                    CanaryVerdict::Promote => {
+                        primary = tr.primary;
+                        fallback = tr.fallback;
+                        inner.resilient.set_model_hash(&tr.hash);
+                        inner.serving_hash = tr.hash.clone();
+                        inner.swap_stats.promotions += 1;
+                        inner.swap_stats.swaps += 1;
+                        inner.last_swap_event = format!("canary {} promoted", tr.hash);
+                    }
+                    CanaryVerdict::Rollback { reason } => {
+                        inner.swap_stats.rollbacks += 1;
+                        inner.last_swap_event =
+                            format!("canary {} rolled back: {reason}", tr.hash);
+                        // tr drops here, discarding the candidate's
+                        // engines; the incumbent never stopped serving.
+                    }
+                }
+            }
+        }
+
+        // Swap intake, strictly after this round's drain: the old
+        // engines have resolved everything that was queued, so a direct
+        // swap here is the atomic drain-then-switch the protocol
+        // promises. Only one model may be in flight at a time.
+        if trial.is_none() && inner.canary.is_none() {
+            if let Some(ps) = inner.pending_swap.take() {
+                if let Some(policy) = ps.canary {
+                    let mut rs = ResilientServer::new(shared.server_cfg.clone());
+                    rs.set_model_hash(&ps.hash);
+                    inner.canary = Some(CanaryLane {
+                        rs,
+                        hash: ps.hash.clone(),
+                        fraction: policy.fraction,
+                        tick: 0,
+                    });
+                    inner.swap_stats.canaries_started += 1;
+                    inner.last_swap_event = format!("canary {} started", ps.hash);
+                    trial = Some(CanaryTrial {
+                        primary: ps.primary,
+                        fallback: ps.fallback,
+                        hash: ps.hash,
+                        policy,
+                        canary_budget: ErrorBudget::default(),
+                        canary_lat: Vec::new(),
+                        incumbent_budget: ErrorBudget::default(),
+                        incumbent_lat: Vec::new(),
+                    });
+                } else {
+                    primary = ps.primary;
+                    fallback = ps.fallback;
+                    inner.resilient.set_model_hash(&ps.hash);
+                    inner.serving_hash = ps.hash.clone();
+                    inner.swap_stats.swaps += 1;
+                    inner.last_swap_event = format!("swapped to {}", ps.hash);
+                }
+                // The transition (direct swap or canary launch) is
+                // done; probes may route traffic here again.
+                shared.draining.store(false, Ordering::SeqCst);
+            }
+        }
+
+        // Refresh the lock-free degraded mirror before releasing the
+        // lock: a client that just read its response observes the
+        // health state its own request produced. (`draining` is owned
+        // by the push handler / swap intake, not the round boundary:
+        // it spans from "smoke test passed, waiting out in-flight
+        // work" to "swap applied", most of which this thread spends
+        // inside `drain` with the lock held.)
+        shared
+            .degraded
+            .store(inner.budget.degraded(), Ordering::SeqCst);
         let mut waiters = std::mem::take(&mut inner.waiters);
         drop(inner);
         for resp in run.responses {
-            if let Some(tx) = waiters.remove(&resp.index) {
+            if let Some(tx) = waiters.remove(&(0, resp.index)) {
+                let _ = tx.send(resp);
+            }
+        }
+        for resp in canary_responses {
+            if let Some(tx) = waiters.remove(&(1, resp.index)) {
                 let _ = tx.send(resp);
             }
         }
@@ -433,7 +756,22 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
         let spawned = std::thread::Builder::new()
             .name("p3d-conn".to_string())
             .spawn(move || {
-                let _ = handle_connection(&shared, stream);
+                if let Err(e) = handle_connection(&shared, stream) {
+                    // Read failures never escape (wire maps them to
+                    // typed WireErrors handled in place), so a timeout
+                    // kind here is the write timeout shedding a stalled
+                    // reader: a typed close, counted. The response was
+                    // already resolved and budgeted before the write,
+                    // so the ledger stays balanced.
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) {
+                        let mut inner =
+                            shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                        inner.stalled_writes += 1;
+                    }
+                }
                 counter.fetch_sub(1, Ordering::SeqCst);
             });
         if spawned.is_err() {
@@ -454,6 +792,7 @@ use std::sync::atomic::AtomicUsize;
 /// the peer closes, framing fails, or shutdown begins.
 fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(shared.read_timeout))?;
+    stream.set_write_timeout(Some(shared.write_timeout))?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -518,12 +857,24 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> 
         }
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => {
-                let body: &[u8] = if shared.stopping.load(Ordering::SeqCst) {
-                    b"stopping\n"
-                } else {
-                    b"ok\n"
-                };
-                write_response(&mut writer, 200, "OK", "text/plain", body, !keep_alive)?;
+                // State-aware: `draining` (503, stop routing here) when
+                // shutting down or mid-swap, `degraded` (200, serving
+                // but damaged — quarantines or sentinel trips) when the
+                // budget says so, plain `ok` otherwise. Reads only the
+                // lock-free mirrors: a probe must answer immediately
+                // even while the dispatcher holds the `Inner` lock
+                // across a long drain round.
+                let (status, reason, body): (u16, &str, &[u8]) =
+                    if shared.stopping.load(Ordering::SeqCst)
+                        || shared.draining.load(Ordering::SeqCst)
+                    {
+                        (503, "Service Unavailable", b"draining\n")
+                    } else if shared.degraded.load(Ordering::SeqCst) {
+                        (200, "OK", b"degraded\n")
+                    } else {
+                        (200, "OK", b"ok\n")
+                    };
+                write_response(&mut writer, status, reason, "text/plain", body, !keep_alive)?;
             }
             ("GET", "/stats") => {
                 let body = stats_json(shared);
@@ -539,7 +890,13 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> 
             ("POST", "/v1/infer") => {
                 serve_infer(shared, &req, &mut writer, keep_alive)?;
             }
-            (_, "/healthz" | "/stats") | ("GET" | "HEAD", "/v1/infer") => {
+            ("POST", "/v1/models") => {
+                serve_model_push(shared, &req, &mut writer, keep_alive)?;
+            }
+            ("GET", "/v1/models") => {
+                serve_model_list(shared, &mut writer, keep_alive)?;
+            }
+            (_, "/healthz" | "/stats" | "/v1/models") | ("GET" | "HEAD", "/v1/infer") => {
                 let body = Obj::new().str("error", "method not allowed").build();
                 write_response(
                     &mut writer,
@@ -707,38 +1064,280 @@ fn serve_infer_vid(
     Ok(keep_alive)
 }
 
-/// Shared tail of both infer endpoints: submit the decoded clip under
-/// the lock, park on a private channel for the dispatcher, and render
-/// the response.
+/// Handles one `POST /v1/models`: the body is raw P3DCKPT2 checkpoint
+/// bytes. Validation, registry publish, engine build, and the golden-
+/// clip smoke test all run here on the connection's thread — the
+/// dispatcher only ever sees a candidate that already proved it can
+/// answer. Accepted models are parked as a pending swap and applied
+/// between drain rounds; `202` means "accepted, swapping", `200` means
+/// "already serving this exact content".
+fn serve_model_push(
+    shared: &Shared,
+    req: &HttpRequest,
+    writer: &mut impl Write,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let answer = |mut writer: &mut dyn Write, status: u16, reason: &str, body: String| {
+        write_response(&mut writer, status, reason, "application/json", body.as_bytes(), !keep_alive)
+    };
+    let Some(models) = shared.models.as_ref() else {
+        let body = Obj::new().str("error", "model registry disabled").build();
+        return answer(writer, 404, "Not Found", body);
+    };
+    let published = match models.registry.publish(&req.body) {
+        Ok(p) => p,
+        Err(RegistryError::Rejected { hash, reason }) => {
+            {
+                let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                inner.swap_stats.models_rejected += 1;
+                inner.last_swap_event = format!("rejected push {hash}: {reason}");
+            }
+            let body = Obj::new()
+                .str("error", &format!("checkpoint rejected: {reason}"))
+                .str("model_hash", &hash)
+                .build();
+            return answer(writer, 422, "Unprocessable Entity", body);
+        }
+        Err(e) => {
+            let body = Obj::new().str("error", &e.to_string()).build();
+            return answer(writer, 500, "Internal Server Error", body);
+        }
+    };
+    let (mut new_primary, new_fallback) = match (models.factory)(&published.checkpoint) {
+        Ok(pair) => pair,
+        Err(e) => {
+            {
+                let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                inner.swap_stats.models_rejected += 1;
+                inner.last_swap_event =
+                    format!("unservable push {}: {e}", published.hash);
+            }
+            let body = Obj::new()
+                .str("error", &format!("unservable model: {e}"))
+                .str("model_hash", &published.hash)
+                .build();
+            return answer(writer, 422, "Unprocessable Entity", body);
+        }
+    };
+    if let Err(e) = smoke_test(new_primary.as_mut(), &models.golden) {
+        {
+            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.swap_stats.smoke_failures += 1;
+            inner.last_swap_event = format!("smoke failure {}: {e}", published.hash);
+        }
+        let body = Obj::new()
+            .str("error", &format!("smoke test failed: {e}"))
+            .str("model_hash", &published.hash)
+            .build();
+        return answer(writer, 422, "Unprocessable Entity", body);
+    }
+    // The push is committed from here: the swap begins its drain the
+    // moment this handler starts competing for the engine lock (the
+    // dispatcher holds it for whole rounds, so most of the wait *is*
+    // the drain). Advertise `draining` before blocking; the dispatcher
+    // clears it when it consumes the parked swap, and the bail-out
+    // paths below restore the truthful state.
+    shared.draining.store(true, Ordering::SeqCst);
+    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+    if inner.pending_swap.is_some() || inner.canary.is_some() {
+        // Another push is still mid-swap — that one owns `draining`.
+        shared
+            .draining
+            .store(inner.pending_swap.is_some(), Ordering::SeqCst);
+        drop(inner);
+        let body = Obj::new()
+            .str("error", "a swap is already in progress")
+            .str("model_hash", &published.hash)
+            .build();
+        return answer(writer, 409, "Conflict", body);
+    }
+    inner.swap_stats.models_published += 1;
+    if inner.serving_hash == published.hash {
+        shared.draining.store(false, Ordering::SeqCst);
+        drop(inner);
+        let body = Obj::new()
+            .str("model_hash", &published.hash)
+            .str("status", "already serving")
+            .build();
+        return answer(writer, 200, "OK", body);
+    }
+    let canary = models.canary.is_some();
+    inner.pending_swap = Some(PendingSwap {
+        primary: new_primary,
+        fallback: new_fallback,
+        hash: published.hash.clone(),
+        canary: models.canary.clone(),
+    });
+    drop(inner);
+    shared.work.notify_all();
+    let body = Obj::new()
+        .str("model_hash", &published.hash)
+        .str("status", if canary { "canary started" } else { "swapping" })
+        .bool("canary", canary)
+        .build();
+    answer(writer, 202, "Accepted", body)
+}
+
+/// Handles one `GET /v1/models`: serving hash, the canary in trial (if
+/// any), the registry's published entries, and its quarantined pushes.
+fn serve_model_list(
+    shared: &Shared,
+    writer: &mut impl Write,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let Some(models) = shared.models.as_ref() else {
+        let body = Obj::new().str("error", "model registry disabled").build();
+        return write_response(
+            writer,
+            404,
+            "Not Found",
+            "application/json",
+            body.as_bytes(),
+            !keep_alive,
+        );
+    };
+    let (serving, canary) = {
+        let inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (
+            inner.serving_hash.clone(),
+            inner.canary.as_ref().map(|l| l.hash.clone()),
+        )
+    };
+    let listed = models.registry.list().unwrap_or_default();
+    let rejected = models.registry.rejected().unwrap_or_default();
+    let model_rows = listed
+        .iter()
+        .map(|m| {
+            Obj::new()
+                .str("hash", &m.hash)
+                .u64("bytes", m.bytes)
+                .bool("serving", m.hash == serving)
+                .build()
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let rejected_rows = rejected
+        .iter()
+        .map(|r| Obj::new().str("name", &r.name).str("reason", &r.reason).build())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let body = Obj::new()
+        .str("serving", &serving)
+        .str("canary", canary.as_deref().unwrap_or("none"))
+        .raw("models", &format!("[{model_rows}]"))
+        .raw("rejected", &format!("[{rejected_rows}]"))
+        .build();
+    write_response(
+        writer,
+        200,
+        "OK",
+        "application/json",
+        body.as_bytes(),
+        !keep_alive,
+    )
+}
+
+/// How `submit_and_respond` resolved its admission step.
+enum Admission {
+    /// Answered from the response cache, bitwise-identical by
+    /// construction (serving is deterministic per model version).
+    CacheHit(Response),
+    /// Queued; park on the channel for the dispatcher.
+    Queued(mpsc::Receiver<Response>),
+    /// Rejected at submission (validation / overload).
+    Rejected(InferError),
+}
+
+/// Shared tail of both infer endpoints: probe the response cache, or
+/// submit the decoded clip under the lock (routing a deterministic
+/// fraction to the canary lane during a trial), park on a private
+/// channel for the dispatcher, and render the response.
 fn submit_and_respond(
     shared: &Shared,
     clip: Tensor,
     writer: &mut impl Write,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    // Submit under the lock and park on a private channel.
-    let rx = {
+    let hashed_clip = (shared.cache_capacity > 0).then(|| clip_hash(&clip));
+    let admission = {
         let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.pending_work += 1;
-        match inner.resilient.submit(Request::new(clip)) {
-            Ok(index) => {
-                let (tx, rx) = mpsc::channel();
-                inner.waiters.insert(index, tx);
-                drop(inner);
-                shared.work.notify_all();
-                Ok(rx)
+        // Canary routing: a low-discrepancy counter sends exactly the
+        // configured fraction — deterministically, so trials replay —
+        // to the candidate's lane. Cache probes are lane-0 only: the
+        // canary needs real traffic for its ledger.
+        let lane: u8 = match inner.canary.as_mut() {
+            Some(l) => {
+                l.tick += 1;
+                let (t, f) = (l.tick, l.fraction);
+                if ((t as f64) * f).floor() > (((t - 1) as f64) * f).floor() {
+                    1
+                } else {
+                    0
+                }
             }
-            Err(e) => {
-                drop(inner);
-                // Flush the early rejection's budget counters promptly.
-                shared.work.notify_all();
-                Err(e)
+            None => 0,
+        };
+        let cache_probe = if lane == 0 { hashed_clip } else { None };
+        let mut hit = None;
+        if let Some(ch) = cache_probe {
+            let serving = inner.resilient.model_hash().to_string();
+            if let Some(cache) = inner.cache.as_mut() {
+                if let Some(result) = cache.get(model_key(&serving), ch) {
+                    // A cache hit is a completed request: submitted,
+                    // admitted, completed — the partition identity
+                    // holds with no engine involvement.
+                    inner.budget.submitted += 1;
+                    inner.budget.admitted += 1;
+                    inner.budget.completed += 1;
+                    hit = Some(Response {
+                        index: 0,
+                        outcome: Ok(result),
+                        backend: "cache".to_string(),
+                        fell_back: false,
+                        attempts: 0,
+                        latency_ms: 0.0,
+                        deadline_missed: false,
+                        saturation: 0.0,
+                        model_hash: serving,
+                    });
+                }
+            }
+        }
+        match hit {
+            Some(resp) => Admission::CacheHit(resp),
+            None => {
+                inner.pending_work += 1;
+                let submitted = if lane == 0 {
+                    inner.resilient.submit(Request::new(clip))
+                } else {
+                    let lane_rs =
+                        &mut inner.canary.as_mut().expect("lane 1 implies canary").rs;
+                    lane_rs.submit(Request::new(clip))
+                };
+                match submitted {
+                    Ok(index) => {
+                        let (tx, rx) = mpsc::channel();
+                        inner.waiters.insert((lane, index), tx);
+                        drop(inner);
+                        shared.work.notify_all();
+                        Admission::Queued(rx)
+                    }
+                    Err(e) => {
+                        drop(inner);
+                        // Flush the early rejection's budget promptly.
+                        shared.work.notify_all();
+                        Admission::Rejected(e)
+                    }
+                }
             }
         }
     };
-    let rx = match rx {
-        Ok(rx) => rx,
-        Err(e) => {
+    let rx = match admission {
+        Admission::CacheHit(resp) => {
+            return render_response(&resp, writer, keep_alive);
+        }
+        Admission::Queued(rx) => rx,
+        Admission::Rejected(e) => {
             let (status, reason) = match &e {
                 InferError::Overloaded { .. } => (503, "Service Unavailable"),
                 _ => (400, "Bad Request"),
@@ -772,6 +1371,32 @@ fn submit_and_respond(
             );
         }
     };
+    // Fill the cache from engine answers. Provenance keys the entry,
+    // so a canary-lane answer is cached under the canary's hash and
+    // only ever replays if that model gets promoted. Fallback answers
+    // are excluded (same model hash, different backend, different
+    // bits), as is everything under chaos (a corrupted-input answer
+    // must not replay for the clean clip).
+    if let (Some(ch), Ok(result), false) = (hashed_clip, &resp.outcome, shared.chaos_enabled) {
+        if !resp.fell_back {
+            let result = result.clone();
+            let model = model_key(&resp.model_hash);
+            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cache) = inner.cache.as_mut() {
+                cache.put(model, ch, result);
+            }
+        }
+    }
+    render_response(&resp, writer, keep_alive)
+}
+
+/// Renders one resolved [`Response`] — engine-served or cache-served —
+/// onto the wire with the status code its outcome maps to.
+fn render_response(
+    resp: &Response,
+    writer: &mut impl Write,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let (status, reason) = match &resp.outcome {
         Ok(_) => (200, "OK"),
         Err(InferError::DeadlineExpired) => (504, "Gateway Timeout"),
@@ -781,7 +1406,7 @@ fn submit_and_respond(
     };
     let feats = simd::cpu_features();
     let body = json::response_json(
-        &resp,
+        resp,
         simd::active().name(),
         if feats.is_empty() { "none" } else { feats },
     );
@@ -830,15 +1455,37 @@ fn stats_json(shared: &Shared) -> String {
         .u64("respawned", pool.respawned as u64)
         .u64("live", pool.live as u64)
         .build();
+    let swap = Obj::new()
+        .str("serving_model", &snap.serving_model)
+        .str("canary_model", snap.canary_model.as_deref().unwrap_or("none"))
+        .u64("models_published", snap.swap.models_published)
+        .u64("models_rejected", snap.swap.models_rejected)
+        .u64("smoke_failures", snap.swap.smoke_failures)
+        .u64("swaps", snap.swap.swaps)
+        .u64("canaries_started", snap.swap.canaries_started)
+        .u64("promotions", snap.swap.promotions)
+        .u64("rollbacks", snap.swap.rollbacks)
+        .str("last_event", &snap.last_swap_event)
+        .build();
+    let (cache_cap, cache_entries, cache_hits, cache_misses) = snap.cache;
+    let cache = Obj::new()
+        .u64("capacity", cache_cap)
+        .u64("entries", cache_entries)
+        .u64("hits", cache_hits)
+        .u64("misses", cache_misses)
+        .build();
     Obj::new()
         .f64("uptime_s", snap.uptime_s, 3)
         .u64("http_requests", snap.http_requests)
         .u64("wire_rejects", snap.wire_rejects)
         .u64("batches", snap.batches)
         .u64("vid_clips", snap.vid_clips)
+        .u64("stalled_writes", snap.stalled_writes)
         .raw("error_budget", &json::budget_json(&snap.budget))
         .raw("engine", &engine)
         .raw("pool", &pool)
+        .raw("swap", &swap)
+        .raw("cache", &cache)
         .raw("clients", &format!("[{clients}]"))
         .build()
 }

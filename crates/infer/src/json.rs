@@ -202,6 +202,7 @@ pub fn response_json(resp: &Response, kernel_path: &str, cpu_features: &str) -> 
         .str("backend", &resp.backend)
         .str("kernel_path", kernel_path)
         .str("cpu_features", cpu_features)
+        .str("model_hash", &resp.model_hash)
         .bool("fell_back", resp.fell_back)
         .u64("attempts", resp.attempts as u64)
         .f64("latency_ms", resp.latency_ms, 3)
@@ -291,11 +292,13 @@ mod tests {
             latency_ms: 2.25,
             deadline_missed: false,
             saturation: 0.0,
+            model_hash: "0123456789abcdef".to_string(),
         };
         let s = response_json(&ok, "avx2", "avx2");
         assert!(s.contains("\"prediction\": 0"));
         assert!(s.contains("\"logits_bits\": "));
         assert!(s.contains("\"kernel_path\": \"avx2\""));
+        assert!(s.contains("\"model_hash\": \"0123456789abcdef\""));
 
         let err = Response {
             outcome: Err(crate::resilience::InferError::DeadlineExpired),

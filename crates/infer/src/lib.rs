@@ -65,20 +65,28 @@ pub mod chaos;
 pub mod engine;
 pub mod http;
 pub mod json;
+pub mod registry;
 pub mod resilience;
+pub mod respcache;
 pub mod scheduler;
 pub mod stats;
+pub mod swap;
 pub mod wire;
 
-pub use chaos::{install_quiet_panic_hook, Fault, FaultMix, FaultPlan};
+pub use chaos::{install_quiet_panic_hook, swap_storm, Fault, FaultMix, FaultPlan, SwapAction};
 pub use engine::{
     argmax, ClipResult, F32Engine, InferenceEngine, SimEngine, SlotCtx, SupervisedSlot,
     SupervisionReport, WorkerFault,
 };
-pub use http::{HttpServer, ServeConfig, ServeSnapshot, TokenBucket};
+pub use http::{HttpServer, ModelPushConfig, ServeConfig, ServeSnapshot, TokenBucket};
+pub use registry::{
+    content_hash, hash_hex, ModelEntry, ModelRegistry, Published, RegistryError, RejectedEntry,
+};
 pub use resilience::{
     validate_clip, InferError, Request, ResilientRun, ResilientServer, Response, ServerConfig,
 };
+pub use respcache::{clip_hash, model_key, ResponseCache};
 pub use scheduler::{BatchScheduler, StreamRun};
 pub use stats::{percentile, ErrorBudget, LatencyStats};
+pub use swap::{canary_verdict, smoke_test, CanaryPolicy, CanaryVerdict, SwapStats};
 pub use wire::{HttpRequest, WireError, WireLimits};

@@ -239,6 +239,10 @@ pub struct Response {
     /// Q7.8 saturation rate observed on the *primary* attempt (0.0 on
     /// f32 backends).
     pub saturation: f64,
+    /// Content hash of the model version that produced the result
+    /// (`"none"` for requests no engine answered, `"unkeyed"` when the
+    /// server runs without a registry).
+    pub model_hash: String,
 }
 
 /// Everything a drained resilient run produced.
@@ -303,6 +307,8 @@ pub struct ResilientServer {
     /// overload rejections), emitted with the drained responses.
     early: Vec<Response>,
     rng_state: u64,
+    /// Content hash stamped on completed responses as provenance.
+    model_hash: String,
 }
 
 impl ResilientServer {
@@ -316,7 +322,20 @@ impl ResilientServer {
             budget: ErrorBudget::default(),
             early: Vec::new(),
             rng_state: seed,
+            model_hash: "unkeyed".to_string(),
         }
+    }
+
+    /// Sets the content hash stamped on every completed response. The
+    /// HTTP hot-swap path calls this at switch time so provenance
+    /// follows the serving model.
+    pub fn set_model_hash(&mut self, hash: impl Into<String>) {
+        self.model_hash = hash.into();
+    }
+
+    /// The content hash currently stamped on completed responses.
+    pub fn model_hash(&self) -> &str {
+        &self.model_hash
     }
 
     /// A server with [`ServerConfig::default`].
@@ -363,6 +382,7 @@ impl ResilientServer {
                 latency_ms: 0.0,
                 deadline_missed: false,
                 saturation: 0.0,
+                model_hash: "none".to_string(),
             });
             return Err(e);
         }
@@ -441,6 +461,7 @@ impl ResilientServer {
                         latency_ms: p.submitted.elapsed().as_secs_f64() * 1e3,
                         deadline_missed: true,
                         saturation: 0.0,
+                        model_hash: "none".to_string(),
                     });
                 } else if p.not_before > now {
                     deferred.push(p);
@@ -577,6 +598,7 @@ impl ResilientServer {
             latency_ms: p.submitted.elapsed().as_secs_f64() * 1e3,
             deadline_missed: missed,
             saturation,
+            model_hash: self.model_hash.clone(),
         });
     }
 
@@ -596,6 +618,7 @@ impl ResilientServer {
             latency_ms: p.submitted.elapsed().as_secs_f64() * 1e3,
             deadline_missed: false,
             saturation: 0.0,
+            model_hash: "none".to_string(),
         });
     }
 }

@@ -74,6 +74,16 @@ impl ErrorBudget {
         self.completed += other.completed;
     }
 
+    /// `true` when the budget shows hard serving damage — poisoned
+    /// requests quarantined or numeric sentinels tripped. The state-
+    /// aware `/healthz` reports `degraded` (still 200: the server is
+    /// serving, but operators should look) on this signal. Latching by
+    /// design: counters only grow, so a server that quarantined once
+    /// stays marked until restart or swap-away.
+    pub fn degraded(&self) -> bool {
+        self.quarantined > 0 || self.sentinel_trips > 0
+    }
+
     /// A budget describing a plain (non-resilient) stream run in which
     /// every one of `n` requests was admitted and completed — the
     /// degenerate balanced budget, used so batch-mode reports share the

@@ -1,0 +1,149 @@
+//! Release soak gate: sustained hot-swapping under concurrent wire
+//! load. Run explicitly (`--ignored`) by `scripts/check.sh release`.
+//!
+//! The bar: across at least three completed hot-swaps with clients
+//! hammering the data plane throughout, zero requests are dropped or
+//! duplicated, every response is bitwise-correct for the model its
+//! provenance names, the error budget balances exactly, and the
+//! process does not leak handler threads.
+
+mod common;
+
+use common::{
+    ckpt_bytes, extract_u32s, json_str, json_u64, poll_stats, post_clip, push_until_accepted,
+    q78_clips, reference_bits, serve_cfg, ScratchDir,
+};
+use p3d_infer::http::HttpServer;
+use p3d_infer::{content_hash, hash_hex, ModelRegistry};
+use p3d_nn::Checkpoint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Live thread count of this process, from /proc (Linux CI runner).
+fn num_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+const CLIENTS: usize = 6;
+const PER_CLIENT: usize = 120;
+const MIN_SWAPS: u64 = 3;
+
+#[test]
+#[ignore = "release soak gate: run via scripts/check.sh release"]
+fn soak_hot_swaps_under_sustained_load() {
+    let dir = ScratchDir::new("swap-soak");
+    let registry = ModelRegistry::open(&dir.path).expect("registry");
+    let roster_bytes: Vec<Vec<u8>> = (0..3).map(|i| ckpt_bytes(111 + i)).collect();
+    let first = registry.publish(&roster_bytes[0]).expect("seed model");
+    let clips = q78_clips(5, 61);
+    let mut refs: HashMap<String, Vec<Vec<u32>>> = HashMap::new();
+    for bytes in &roster_bytes {
+        let ckpt = Checkpoint::read_from(&mut &bytes[..]).expect("parse roster model");
+        refs.insert(hash_hex(content_hash(bytes)), reference_bits(&ckpt, &clips));
+    }
+
+    let mut cfg = serve_cfg(0);
+    cfg.model_hash = first.hash.clone();
+    let server = HttpServer::start_with_models(
+        cfg,
+        Box::new(common::engine_from(&first.checkpoint, 2)),
+        None,
+        Some(common::push_config(&dir.path, 2)),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Warm up (worker pool spawned, first batch served), then baseline
+    // the thread count: the soak itself must not grow it.
+    let (status, _) = post_clip(addr, &clips[0], "warmup");
+    assert_eq!(status, 200);
+    let baseline_threads = num_threads();
+
+    let stop_pushing = Arc::new(AtomicBool::new(false));
+    let pusher = {
+        let stop = Arc::clone(&stop_pushing);
+        let roster = roster_bytes.clone();
+        std::thread::spawn(move || {
+            // Rotate the roster for the whole soak; every accepted push
+            // of a non-serving model becomes one atomic swap.
+            let mut i = 1usize;
+            while !stop.load(Ordering::SeqCst) {
+                push_until_accepted(addr, &roster[i % roster.len()]);
+                i += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let clips = clips.clone();
+            let refs = refs.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let j = (c + i) % clips.len();
+                    let (status, body) = post_clip(addr, &clips[j], &format!("soak-{c}"));
+                    assert_eq!(status, 200, "dropped request mid-soak: {body}");
+                    let hash = json_str(&body, "model_hash");
+                    let reference = refs
+                        .get(&hash)
+                        .unwrap_or_else(|| panic!("unknown serving model {hash}"));
+                    assert_eq!(
+                        extract_u32s(&body, "logits_bits"),
+                        reference[j],
+                        "bitwise drift on {hash} clip {j}"
+                    );
+                }
+                PER_CLIENT
+            })
+        })
+        .collect();
+
+    let total: usize = clients
+        .into_iter()
+        .map(|c| c.join().expect("soak client"))
+        .sum();
+    stop_pushing.store(true, Ordering::SeqCst);
+    pusher.join().expect("pusher thread");
+    assert_eq!(total, CLIENTS * PER_CLIENT);
+
+    poll_stats(addr, 15, "minimum swap count", |s| {
+        json_u64(s, "swaps") >= MIN_SWAPS
+    });
+    // Handler threads are reaped as their connections close; give the
+    // tail a moment, then require the count back at (or below) the
+    // warmed baseline plus scheduling slack.
+    let mut soaked_threads = num_threads();
+    for _ in 0..100 {
+        if soaked_threads <= baseline_threads + 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        soaked_threads = num_threads();
+    }
+    assert!(
+        soaked_threads <= baseline_threads + 2,
+        "thread leak: {baseline_threads} before soak, {soaked_threads} after"
+    );
+
+    let snap = server.shutdown();
+    // +1 for the warm-up request.
+    let expected = total as u64 + 1;
+    assert_eq!(snap.budget.completed, expected, "budget: {:?}", snap.budget);
+    assert!(snap.budget.balanced(), "budget: {:?}", snap.budget);
+    assert_eq!(snap.budget.quarantined, 0, "budget: {:?}", snap.budget);
+    assert!(snap.swap.swaps >= MIN_SWAPS, "swap: {:?}", snap.swap);
+    assert_eq!(snap.swap.models_rejected, 0, "swap: {:?}", snap.swap);
+    assert!(
+        refs.contains_key(&snap.serving_model),
+        "soak must end on a roster model, got {}",
+        snap.serving_model
+    );
+}

@@ -168,4 +168,52 @@ cargo test -q --release -p p3d-bench --test ingest_overlap
 echo "==> clippy, scoped to the ingest crate"
 cargo clippy -p p3d-video-data --all-targets -- -D warnings
 
+# The model-registry / hot-swap merge requirements, named for the same
+# reason: the registry fuzz (garbage, truncations, bit flips — on the
+# wire and on disk — must reject typed and quarantine, never panic or
+# corrupt the servable set); the SIGKILL crash-safety suite (kills
+# mid-publish and mid-hot-swap leave the registry loadable, tmp
+# leftovers swept on reopen); the connection-guard + state-aware
+# health suite (stalled readers reaped and counted, healthz reports
+# ok / degraded / draining); swap-under-load (exactly-once and bitwise
+# provenance across concurrent hot-swaps, corrupt pushes rejected with
+# serving undisturbed); the canary gate (poisoned candidates roll back
+# automatically, healthy ones promote); the response-cache e2e
+# (bitwise-identical hits keyed by model hash, telemetry adds up); and
+# the swap-storm chaos suite (rapid swaps + corrupt pushes raced
+# against injected worker faults). All dev-profile: this is the
+# debug-assertions pass for the model plane. The clippy wall is re-run
+# scoped to the infer crate so a future workspace exclusion cannot
+# silently drop the new modules.
+echo "==> model-registry fuzz (garbage / truncation / bit-flip quarantine)"
+cargo test -q -p p3d-infer --test registry_fuzz
+
+echo "==> registry SIGKILL crash safety (mid-publish, mid-hot-swap)"
+cargo test -q -p p3d-infer --test registry_crash
+
+echo "==> connection guards + state-aware healthz (ok/degraded/draining)"
+cargo test -q -p p3d-infer --test http_guard
+
+echo "==> hot-swap under load: exactly-once, bitwise provenance, corrupt pushes"
+cargo test -q -p p3d-infer --test swap_under_load
+
+echo "==> canary gate: auto-rollback on poison, promote on health"
+cargo test -q -p p3d-infer --test canary_rollback
+
+echo "==> response cache e2e: bitwise hits keyed by model hash"
+cargo test -q -p p3d-infer --test respcache_e2e
+
+echo "==> swap-storm chaos: rapid swaps + corrupt pushes under faults"
+cargo test -q -p p3d-infer --test chaos_swap
+
+echo "==> clippy, scoped to the infer crate"
+cargo clippy -p p3d-infer --all-targets -- -D warnings
+
+# Release-mode swap soak gate: sustained client load across at least
+# three hot-swaps — zero dropped or duplicated requests, bitwise
+# provenance throughout, no thread leak. Ignored by default so plain
+# `cargo test` stays fast.
+echo "==> hot-swap soak gate (release)"
+cargo test -q --release -p p3d-infer --test swap_soak -- --ignored
+
 echo "All checks passed."

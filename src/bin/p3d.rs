@@ -22,6 +22,9 @@
 //!              [--capacity C] [--deadline-ms D] [--retries N]
 //!              [--rate R] [--burst B] [--max-body BYTES]
 //!              [--max-requests N] [--duration-s S] [--threads T]
+//!              [--model-dir DIR] [--cache N]
+//!              [--canary-fraction F] [--canary-after N]
+//! p3d models   --dir DIR [--push file.ckpt] [--json]
 //! p3d tables   (prints the paper-table summaries)
 //! ```
 //!
@@ -31,9 +34,9 @@
 use p3d::fpga::{AcceleratorConfig, Ports, QuantizedNetwork, Tiling};
 use p3d::infer::json::{backend_row, BackendReport};
 use p3d::infer::{
-    install_quiet_panic_hook, BatchScheduler, ErrorBudget, F32Engine, FaultMix, FaultPlan,
-    HttpServer, InferenceEngine, Request, ResilientRun, ResilientServer, ServeConfig, ServerConfig,
-    SimEngine, StreamRun, WireLimits,
+    install_quiet_panic_hook, BatchScheduler, CanaryPolicy, ErrorBudget, F32Engine, FaultMix,
+    FaultPlan, HttpServer, InferenceEngine, ModelPushConfig, ModelRegistry, RegistryError, Request,
+    ResilientRun, ResilientServer, ServeConfig, ServerConfig, SimEngine, StreamRun, WireLimits,
 };
 use p3d::models::{
     build_network, c3d_lite, r2plus1d_lite, r2plus1d_lite_wide, r2plus1d_micro, NetworkSpec,
@@ -716,6 +719,8 @@ const SERVE_USAGE: &str = "usage: p3d serve --ckpt model.ckpt [--model lite|lite
                  [--batch B] [--capacity C] [--deadline-ms D] [--retries N]
                  [--rate R] [--burst B] [--max-body BYTES] [--threads T]
                  [--max-requests N] [--duration-s S]
+                 [--model-dir DIR] [--cache N]
+                 [--canary-fraction F] [--canary-after N]
 
 Serves the inference engine over HTTP/1.1 on 127.0.0.1 (--port 0 picks
 an ephemeral port; the chosen address is printed as 'listening on
@@ -724,10 +729,19 @@ ADDR'). Endpoints:
   POST /v1/infer   raw planar clip in (Content-Type application/x-p3d-f32
                    or application/x-p3d-q78, shape in X-P3D-Shape:
                    C,D,H,W), JSON result out with latency_ms / backend /
-                   kernel_path / cpu_features / fell_back provenance
+                   model_hash / kernel_path / cpu_features / fell_back
+                   provenance
+  POST /v1/models  raw checkpoint bytes in; validates, persists to the
+                   content-addressed registry (--model-dir) and hot-swaps
+                   the serving engines — atomically, after a golden-clip
+                   smoke test, draining in-flight requests first
+  GET  /v1/models  registry listing: serving hash, canary hash,
+                   published and quarantined checkpoints
   GET  /stats      live error budget, per-client admission counters,
-                   worker-pool and engine telemetry
-  GET  /healthz    liveness probe
+                   worker-pool, swap/canary/cache and engine telemetry
+  GET  /healthz    state-aware probe: 200 'ok', 200 'degraded'
+                   (error budget tripping), 503 'draining' (mid-swap
+                   or shutting down)
 
 Requests flow through the same resilient pipeline as 'p3d infer
 --resilient': validation, bounded admission (--capacity), deadlines
@@ -735,7 +749,15 @@ Requests flow through the same resilient pipeline as 'p3d infer
 when the backend is sim. --rate/--burst add per-client token-bucket
 fairness keyed on the X-P3D-Client header; empty buckets shed as HTTP
 429, counted in the error budget. --max-requests / --duration-s bound
-the run (0 = unbounded) and print a final report on exit.";
+the run (0 = unbounded) and print a final report on exit.
+
+--model-dir DIR enables the model-push control plane: the startup
+checkpoint is published into DIR and every response carries its content
+hash. --canary-fraction F (0 < F <= 1) routes that fraction of traffic
+to a pushed model first, auto-promoting after --canary-after decided
+requests or auto-rolling-back on quarantine/sentinel/fallback/p99
+regression. --cache N keeps an exact-match LRU of N responses keyed by
+(model hash, clip hash); hits replay bitwise-identical logits.";
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
     if args.get("help", false)? {
@@ -763,6 +785,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "max-body",
             "max-requests",
             "duration-s",
+            "model-dir",
+            "cache",
+            "canary-fraction",
+            "canary-after",
         ],
     )?;
     let model = args.get("model", "lite".to_string())?;
@@ -811,6 +837,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let max_body: usize = args.get("max-body", WireLimits::default().max_body_bytes)?;
     let max_requests: u64 = args.get("max-requests", 0)?;
     let duration_s: f64 = args.get("duration-s", 0.0)?;
+    let model_dir = args.get("model-dir", String::new())?;
+    let cache: usize = args.get("cache", 0)?;
+    let canary_fraction: f64 = args.get("canary-fraction", 0.0)?;
+    let canary_after: u64 = args.get("canary-after", 50)?;
+    if !(0.0..=1.0).contains(&canary_fraction) {
+        return Err(format!(
+            "--canary-fraction {canary_fraction} out of range (0..=1)"
+        ));
+    }
+    if canary_fraction > 0.0 && model_dir.is_empty() {
+        return Err("--canary-fraction needs --model-dir (no pushes without a registry)".into());
+    }
     let ckpt = args.required("ckpt")?;
 
     if threads > 0 {
@@ -845,6 +883,78 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         (Box::new(make_f32(replicas)), None)
     };
 
+    // The model-push control plane: publish the startup checkpoint into
+    // the registry (so the first response already carries provenance)
+    // and hand the server a factory that rebuilds the same engine
+    // topology from any pushed checkpoint.
+    let mut serving_hash = "unkeyed".to_string();
+    let models_cfg: Option<ModelPushConfig> = if model_dir.is_empty() {
+        None
+    } else {
+        let registry = ModelRegistry::open(&model_dir)
+            .map_err(|e| format!("cannot open model registry {model_dir}: {e}"))?;
+        let bytes =
+            std::fs::read(&ckpt).map_err(|e| format!("cannot read checkpoint {ckpt}: {e}"))?;
+        let published = registry
+            .publish(&bytes)
+            .map_err(|e| format!("cannot publish startup checkpoint: {e}"))?;
+        serving_hash = published.hash.clone();
+        let golden = p3d::tensor::TensorRng::seed(seed).uniform_tensor([c, d, h, w], 0.0, 1.0);
+        let factory_spec = spec.clone();
+        let factory = Box::new(move |pushed: &Checkpoint| {
+            let mut net = build_network(&factory_spec, seed);
+            let report = pushed.try_restore(&mut net);
+            if report.num_restored() == 0 {
+                return Err("checkpoint matches no parameters of this model".to_string());
+            }
+            if !report.mismatched.is_empty() {
+                return Err(format!(
+                    "checkpoint shape mismatch for {:?} — was it written by a different model?",
+                    report.mismatched
+                ));
+            }
+            let f32_engine = {
+                let spec = factory_spec.clone();
+                let pushed = pushed.clone();
+                F32Engine::new(replicas, move || {
+                    let mut net = build_network(&spec, seed);
+                    pushed.restore(&mut net);
+                    net
+                })
+            };
+            if primary_is_sim {
+                let accel = AcceleratorConfig {
+                    tiling: Tiling::new(tm, tn, 2, 8, 8),
+                    ports: Ports::new(2, 2, 2),
+                    freq_mhz: 150.0,
+                    data_bits: 16,
+                };
+                let q = QuantizedNetwork::from_network(&factory_spec, &mut net, accel);
+                Ok((
+                    Box::new(SimEngine::new(q, PrunedModel::dense()))
+                        as Box<dyn InferenceEngine + Send>,
+                    Some(Box::new(f32_engine) as Box<dyn InferenceEngine + Send>),
+                ))
+            } else {
+                Ok((
+                    Box::new(f32_engine) as Box<dyn InferenceEngine + Send>,
+                    None,
+                ))
+            }
+        });
+        let canary = (canary_fraction > 0.0).then(|| CanaryPolicy {
+            fraction: canary_fraction,
+            decide_after: canary_after,
+            ..CanaryPolicy::default()
+        });
+        Some(ModelPushConfig {
+            registry,
+            factory,
+            golden,
+            canary,
+        })
+    };
+
     let cfg = ServeConfig {
         addr: format!("127.0.0.1:{port}"),
         server: ServerConfig {
@@ -863,11 +973,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         },
         rate_per_s: rate,
         burst,
+        cache_capacity: cache,
+        model_hash: serving_hash.clone(),
         ..ServeConfig::default()
     };
-    let server = HttpServer::start(cfg, primary, fallback)
+    let server = HttpServer::start_with_models(cfg, primary, fallback, models_cfg)
         .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
     println!("listening on {}", server.local_addr());
+    if !model_dir.is_empty() {
+        println!("serving model {serving_hash} from registry {model_dir}");
+    }
 
     let started = std::time::Instant::now();
     loop {
@@ -894,8 +1009,104 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         snap.batches,
     );
     println!("error budget balanced: {}", b.balanced());
+    if !model_dir.is_empty() || cache > 0 {
+        let s = &snap.swap;
+        let (cache_cap, cache_entries, cache_hits, cache_misses) = snap.cache;
+        println!(
+            "model plane: serving {} | {} published, {} rejected, {} swaps, {} canaries ({} promoted, {} rolled back) | cache {}/{} entries, {} hits, {} misses",
+            snap.serving_model,
+            s.models_published,
+            s.models_rejected,
+            s.swaps,
+            s.canaries_started,
+            s.promotions,
+            s.rollbacks,
+            cache_entries,
+            cache_cap,
+            cache_hits,
+            cache_misses,
+        );
+    }
     if threads > 0 {
         set_thread_override(None);
+    }
+    Ok(())
+}
+
+const MODELS_USAGE: &str = "usage: p3d models --dir DIR [--push file.ckpt] [--json]
+
+Inspects (and optionally publishes into) a content-addressed model
+registry as used by 'p3d serve --model-dir'. Layout under DIR:
+
+  models/<hash>.ckpt     published checkpoints, named by FNV-1a-64
+                         content hash (atomic tmp+fsync+rename writes)
+  rejected/<name>.bad    quarantined corrupt pushes, with the typed
+                         rejection reason in <name>.reason
+
+--push validates file.ckpt and publishes it under its content hash
+(idempotent: re-pushing the same bytes is a no-op). Corrupt or
+truncated checkpoints are quarantined, never published. --json emits
+the listing as JSON.";
+
+fn cmd_models(args: &Args) -> Result<(), String> {
+    if args.get("help", false)? {
+        println!("{MODELS_USAGE}");
+        return Ok(());
+    }
+    args.expect_known("models", &["help", "dir", "push", "json"])?;
+    let dir = args.required("dir")?;
+    let json = args.get("json", false)?;
+    let registry =
+        ModelRegistry::open(&dir).map_err(|e| format!("cannot open model registry {dir}: {e}"))?;
+
+    if let Some(push) = args.flags.get("push") {
+        let bytes = std::fs::read(push).map_err(|e| format!("cannot read {push}: {e}"))?;
+        match registry.publish(&bytes) {
+            Ok(p) if p.already_present => println!("already published: {}", p.hash),
+            Ok(p) => println!("published {} ({} bytes)", p.hash, bytes.len()),
+            Err(RegistryError::Rejected { hash, reason }) => {
+                return Err(format!("rejected {hash}: {reason} (quarantined under {dir})"));
+            }
+            Err(e) => return Err(format!("cannot publish {push}: {e}")),
+        }
+    }
+
+    let models = registry
+        .list()
+        .map_err(|e| format!("cannot list {dir}: {e}"))?;
+    let rejected = registry
+        .rejected()
+        .map_err(|e| format!("cannot list rejects in {dir}: {e}"))?;
+    if json {
+        let mut s = String::new();
+        s.push_str("{\n  \"models\": [\n");
+        let rows: Vec<String> = models
+            .iter()
+            .map(|m| format!("    {{\"hash\": \"{}\", \"bytes\": {}}}", m.hash, m.bytes))
+            .collect();
+        s.push_str(&rows.join(",\n"));
+        s.push_str("\n  ],\n  \"rejected\": [\n");
+        let rows: Vec<String> = rejected
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"name\": \"{}\", \"reason\": \"{}\"}}",
+                    r.name,
+                    r.reason.replace('\\', "\\\\").replace('"', "\\\"")
+                )
+            })
+            .collect();
+        s.push_str(&rows.join(",\n"));
+        s.push_str("\n  ]\n}");
+        println!("{s}");
+    } else {
+        println!("registry {dir}: {} published, {} rejected", models.len(), rejected.len());
+        for m in &models {
+            println!("  {}  {} bytes", m.hash, m.bytes);
+        }
+        for r in &rejected {
+            println!("  rejected {}: {}", r.name, r.reason);
+        }
     }
     Ok(())
 }
@@ -1159,7 +1370,7 @@ fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         return Err(
-            "usage: p3d <train|eval|prune|simulate|infer|ingest|serve|tables> [--flag value ...]"
+            "usage: p3d <train|eval|prune|simulate|infer|ingest|serve|models|tables> [--flag value ...]"
                 .into(),
         );
     };
@@ -1172,6 +1383,7 @@ fn run() -> Result<(), String> {
         "infer" => cmd_infer(&args),
         "ingest" => cmd_ingest(&args),
         "serve" => cmd_serve(&args),
+        "models" => cmd_models(&args),
         "tables" => cmd_tables(),
         other => Err(format!("unknown command '{other}'")),
     }

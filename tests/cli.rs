@@ -506,3 +506,187 @@ fn serve_answers_http_and_exits_with_balanced_budget() {
 
     let _ = std::fs::remove_file(&ckpt);
 }
+
+#[test]
+fn models_subcommand_publishes_lists_and_rejects() {
+    let dir = std::env::temp_dir().join("p3d_cli_models");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("micro.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let registry = dir.join("registry");
+    let registry_s = registry.to_str().unwrap();
+
+    let out = p3d()
+        .args([
+            "train", "--model", "micro", "--epochs", "1", "--clips", "20", "--seed", "11",
+            "--out", ckpt_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Publish, then list — the content hash shows up in both.
+    let out = p3d()
+        .args(["models", "--dir", registry_s, "--push", ckpt_s])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("published "), "{text}");
+
+    let out = p3d()
+        .args(["models", "--dir", registry_s, "--json"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"models\""), "{json}");
+    assert!(json.contains("\"hash\""), "{json}");
+
+    // Re-pushing the same bytes is idempotent, not an error.
+    let out = p3d()
+        .args(["models", "--dir", registry_s, "--push", ckpt_s])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("already published"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // A truncated checkpoint is rejected typed, exits nonzero, and is
+    // quarantined — visible in the next listing.
+    let bytes = std::fs::read(&ckpt).unwrap();
+    let broken = dir.join("broken.ckpt");
+    std::fs::write(&broken, &bytes[..bytes.len() / 2]).unwrap();
+    let out = p3d()
+        .args(["models", "--dir", registry_s, "--push", broken.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "corrupt push must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("rejected"), "{err}");
+
+    let out = p3d()
+        .args(["models", "--dir", registry_s])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 published, 1 rejected"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_with_model_dir_hot_swaps_over_the_wire() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = std::env::temp_dir().join("p3d_cli_swap");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt_a = dir.join("a.ckpt");
+    let ckpt_b = dir.join("b.ckpt");
+    let registry = dir.join("registry");
+
+    for (seed, path) in [("13", &ckpt_a), ("14", &ckpt_b)] {
+        let out = p3d()
+            .args([
+                "train", "--model", "micro", "--epochs", "1", "--clips", "20", "--seed",
+                seed, "--out", path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "train failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let mut child = p3d()
+        .args([
+            "serve", "--model", "micro", "--ckpt", ckpt_a.to_str().unwrap(), "--port",
+            "0", "--backend", "f32", "--seed", "13", "--model-dir",
+            registry.to_str().unwrap(), "--cache", "16", "--max-requests", "4",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+    line.clear();
+    stdout.read_line(&mut line).expect("registry line");
+    assert!(line.contains("from registry"), "{line}");
+
+    let request = |head: &str, body: &[u8]| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+        s.write_all(head.as_bytes()).unwrap();
+        s.write_all(body).unwrap();
+        s.flush().unwrap();
+        let mut reply = Vec::new();
+        let _ = s.read_to_end(&mut reply);
+        String::from_utf8_lossy(&reply).into_owned()
+    };
+
+    // Push B over the wire; the server validates, publishes and swaps.
+    let b_bytes = std::fs::read(&ckpt_b).unwrap();
+    let push = request(
+        &format!(
+            "POST /v1/models HTTP/1.1\r\nConnection: close\r\n\
+             Content-Type: application/octet-stream\r\nContent-Length: {}\r\n\r\n",
+            b_bytes.len()
+        ),
+        &b_bytes,
+    );
+    assert!(push.starts_with("HTTP/1.1 202"), "{push}");
+    assert!(push.contains("\"swapping\""), "{push}");
+
+    // An infer request lands on exactly one of the two models (the
+    // swap races the request) and carries its provenance.
+    let clip = vec![0u8; 6 * 16 * 16 * 4];
+    let infer = request(
+        &format!(
+            "POST /v1/infer HTTP/1.1\r\nConnection: close\r\n\
+             Content-Type: application/x-p3d-f32\r\nX-P3D-Shape: 1,6,16,16\r\n\
+             Content-Length: {}\r\n\r\n",
+            clip.len()
+        ),
+        &clip,
+    );
+    assert!(infer.starts_with("HTTP/1.1 200"), "{infer}");
+    assert!(infer.contains("\"model_hash\""), "{infer}");
+
+    let listing = request("GET /v1/models HTTP/1.1\r\nConnection: close\r\n\r\n", b"");
+    assert!(listing.starts_with("HTTP/1.1 200"), "{listing}");
+    assert!(listing.contains("\"serving\""), "{listing}");
+
+    // Fourth request trips --max-requests; the server exits on its own.
+    let _ = request("GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n", b"");
+    let status = child.wait().expect("serve exit");
+    assert!(status.success(), "serve exited nonzero");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.contains("error budget balanced: true"),
+        "final report: {rest}"
+    );
+    assert!(rest.contains("model plane: serving"), "final report: {rest}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
